@@ -1,0 +1,196 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper at a
+laptop-friendly scale.  The expensive, experiment-independent work — running
+the 12-detector oracle over the synthetic TSB-UAD benchmark — is done once
+per session and cached on disk under ``.bench_cache`` so repeated benchmark
+runs are fast.
+
+Scale note: the paper trains for ~280 GPU-minutes on the real TSB-UAD data;
+here everything runs on CPU over synthetic data, so absolute AUC-PR values
+and times differ.  The harness reports the same rows as the paper and the
+comparisons (which method wins, by roughly what factor) are what should be
+compared against the paper's tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core import TrainerConfig
+from repro.data import TSBUADBenchmark, build_selector_dataset
+from repro.data.windows import SelectorDataset
+from repro.detectors import make_default_model_set
+from repro.eval import Oracle, evaluate_selection
+from repro.eval.evaluation import SelectionEvaluation
+from repro.selectors import make_selector
+from repro.selectors.nn_selector import NNSelector
+
+CACHE_DIR = Path(__file__).resolve().parent.parent / ".bench_cache"
+
+#: Experiment scale (kept deliberately small; raise for closer-to-paper runs).
+BENCH_SCALE = {
+    "n_train_per_dataset": 2,
+    "n_test_per_dataset": 2,
+    "series_length": 1000,
+    "detector_window": 24,
+    "selector_window": 96,
+    "selector_stride": 48,
+    "epochs": 8,
+    "batch_size": 64,
+    "seed": 0,
+}
+
+#: LSH bits used by PA in the benchmark runs.  The paper's 14 bits are tuned
+#: for training sets of 10^4-10^5 windows; with the few hundred windows of
+#: this reduced scale, 14-bit signatures almost never collide and PA would
+#: degenerate to InfoBatch.  8 bits keeps the expected collision rate (and
+#: therefore the bucketed-pruning behaviour) comparable to the paper's setup.
+BENCH_LSH_BITS = 8
+
+#: Architecture kwargs used across experiments (small but non-trivial models).
+ARCH_KWARGS = {
+    "ConvNet": {"mid_channels": 12},
+    "ResNet": {"mid_channels": 12, "num_layers": 2},
+    "InceptionTime": {"mid_channels": 12, "num_layers": 2},
+    "Transformer": {"embed_dim": 24, "num_layers": 1, "num_heads": 4, "patch_stride": 8},
+    "MLP": {"hidden": 64, "feature_dim": 32},
+    "LSTMSelector": {"hidden": 16, "downsample": 8},
+}
+
+
+@dataclass
+class BenchWorld:
+    """Everything an experiment needs: data, oracle knowledge, test sets."""
+
+    train_dataset: SelectorDataset
+    test_records: list
+    perf_test: np.ndarray
+    detector_names: List[str]
+    scale: Dict[str, int]
+
+
+@dataclass
+class RunResult:
+    """Outcome of training + evaluating one selector configuration."""
+
+    name: str
+    average_auc_pr: float
+    per_dataset: Dict[str, float]
+    training_time_s: float
+    pruned_fraction: float = 0.0
+    evaluation: Optional[SelectionEvaluation] = None
+
+
+_WORLD_CACHE: Dict[str, BenchWorld] = {}
+
+
+def build_world() -> BenchWorld:
+    """Build (or return the cached) benchmark world for this process."""
+    if "world" in _WORLD_CACHE:
+        return _WORLD_CACHE["world"]
+    scale = BENCH_SCALE
+    benchmark = TSBUADBenchmark(
+        n_train_per_dataset=scale["n_train_per_dataset"],
+        n_test_per_dataset=scale["n_test_per_dataset"],
+        series_length=scale["series_length"],
+        seed=7,
+    ).load()
+    model_set = make_default_model_set(window=scale["detector_window"], fast=True)
+    oracle = Oracle(model_set, metric="auc_pr", cache_dir=CACHE_DIR)
+
+    perf_train = oracle.performance_matrix(benchmark.train_records)
+    test_records = benchmark.all_test_records
+    perf_test = oracle.performance_matrix(test_records)
+
+    train_dataset = build_selector_dataset(
+        benchmark.train_records,
+        perf_train,
+        oracle.detector_names,
+        window=scale["selector_window"],
+        stride=scale["selector_stride"],
+        seed=scale["seed"],
+    )
+    world = BenchWorld(
+        train_dataset=train_dataset,
+        test_records=test_records,
+        perf_test=perf_test,
+        detector_names=oracle.detector_names,
+        scale=dict(scale),
+    )
+    _WORLD_CACHE["world"] = world
+    return world
+
+
+def make_bench_selector(name: str, world: BenchWorld, seed: int = 0):
+    """Instantiate a selector sized for the benchmark scale."""
+    kwargs = dict(ARCH_KWARGS.get(name, {}))
+    if name in ARCH_KWARGS:
+        return make_selector(
+            name,
+            window=world.scale["selector_window"],
+            n_classes=world.train_dataset.n_classes,
+            seed=seed,
+            **kwargs,
+        )
+    extra = {}
+    if name == "Rocket":
+        extra = {"n_kernels": 128}
+    elif name == "RandomForest":
+        extra = {"n_estimators": 30}
+    elif name == "AdaBoost":
+        extra = {"n_estimators": 30}
+    return make_selector(name, seed=seed, **extra)
+
+
+def train_and_evaluate(
+    selector_name: str,
+    world: BenchWorld,
+    trainer_config: Optional[TrainerConfig] = None,
+    label: Optional[str] = None,
+    seed: int = 0,
+) -> RunResult:
+    """Train one selector configuration and evaluate it on the test series."""
+    selector = make_bench_selector(selector_name, world, seed=seed)
+
+    start = time.perf_counter()
+    if isinstance(selector, NNSelector):
+        config = trainer_config or TrainerConfig(
+            epochs=world.scale["epochs"], batch_size=world.scale["batch_size"], seed=seed
+        )
+        selector.fit(world.train_dataset, config=config)
+        pruned = selector.last_report_.pruned_fraction
+        training_time = selector.last_report_.total_time
+    else:
+        selector.fit(world.train_dataset)
+        pruned = 0.0
+        training_time = time.perf_counter() - start
+
+    evaluation = evaluate_selection(
+        selector,
+        world.test_records,
+        world.perf_test,
+        world.detector_names,
+        window=world.scale["selector_window"],
+    )
+    return RunResult(
+        name=label or selector_name,
+        average_auc_pr=evaluation.average_score,
+        per_dataset=evaluation.per_dataset_score,
+        training_time_s=training_time,
+        pruned_fraction=pruned,
+        evaluation=evaluation,
+    )
+
+
+def default_trainer_config(world: BenchWorld, seed: int = 0, **overrides) -> TrainerConfig:
+    """Standard-framework trainer config at the benchmark scale."""
+    config = TrainerConfig(
+        epochs=world.scale["epochs"], batch_size=world.scale["batch_size"], seed=seed
+    )
+    return config.replace(**overrides) if overrides else config

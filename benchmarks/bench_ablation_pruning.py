@@ -1,0 +1,95 @@
+"""Ablation — PA pruning internals (ratio r, LSH bits, loss bins).
+
+This ablation is not a numbered table in the paper, but it exercises the
+design choices the paper exposes in its system interface (Fig. 3: pruning
+ratio, number of LSH bits, number of bins) and quantifies the trade-off
+between the amount of pruning and the selector quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PruningConfig, PAPruner
+from repro.system.reporting import format_table
+
+from _harness import default_trainer_config, train_and_evaluate
+
+
+@pytest.mark.benchmark(group="ablation-pruning")
+def test_ablation_pruning_ratio(benchmark, bench_world):
+    """Sweep the pruning ratio r and report accuracy vs samples processed."""
+
+    ratios = [0.0, 0.5, 0.8]
+
+    def experiment():
+        results = {}
+        for ratio in ratios:
+            if ratio == 0.0:
+                config = default_trainer_config(bench_world, seed=0)
+                label = "r=0.0 (full data)"
+            else:
+                config = default_trainer_config(bench_world, seed=0).replace(
+                    pruning=PruningConfig(method="pa", ratio=ratio, lsh_bits=14, n_bins=8)
+                )
+                label = f"r={ratio}"
+            results[label] = train_and_evaluate("ResNet", bench_world, trainer_config=config, label=label)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print("\n=== Ablation: PA pruning ratio ===")
+    rows = [
+        [label, run.average_auc_pr, f"{100 * run.pruned_fraction:.1f}%", run.training_time_s]
+        for label, run in results.items()
+    ]
+    print(format_table(["Config", "AUC-PR", "Samples pruned", "Time s"], rows))
+
+    pruned_fracs = [run.pruned_fraction for run in results.values()]
+    # More aggressive pruning never processes more samples.
+    assert all(pruned_fracs[i] <= pruned_fracs[i + 1] + 1e-9 for i in range(len(pruned_fracs) - 1))
+    # Accuracy at r=0.8 stays within a reasonable band of full-data training.
+    full = results["r=0.0 (full data)"]
+    aggressive = results["r=0.8"]
+    assert aggressive.average_auc_pr >= full.average_auc_pr - 0.12
+
+
+@pytest.mark.benchmark(group="ablation-pruning")
+def test_ablation_lsh_granularity(benchmark, bench_world):
+    """How LSH bits / bin count change the share of prunable 'hard' samples.
+
+    Fewer bits mean coarser buckets (more collisions, more pruning of
+    above-average-loss samples); more bits mean finer buckets and less
+    pruning.  This is measured directly on the pruner, without retraining.
+    """
+    dataset = bench_world.train_dataset
+    rng = np.random.default_rng(0)
+    losses = rng.uniform(0.5, 2.5, size=len(dataset))
+
+    def measure(bits: int, bins: int) -> float:
+        config = PruningConfig(method="pa", ratio=0.8, lsh_bits=bits, n_bins=bins,
+                               full_data_last_fraction=0.0)
+        pruner = PAPruner(len(dataset), config, total_epochs=10, seed=0)
+        pruner.setup(dataset.windows)
+        pruner.update(np.arange(len(dataset)), losses)
+        indices, _ = pruner.select(epoch=1)
+        return 1.0 - len(indices) / len(dataset)
+
+    def experiment():
+        grid = {}
+        for bits in (4, 8, 14):
+            for bins in (2, 8):
+                grid[(bits, bins)] = measure(bits, bins)
+        return grid
+
+    grid = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print("\n=== Ablation: LSH bits / loss bins vs pruned fraction ===")
+    rows = [[f"bits={bits}", f"bins={bins}", f"{100 * frac:.1f}%"] for (bits, bins), frac in grid.items()]
+    print(format_table(["LSH bits", "Loss bins", "Pruned fraction"], rows))
+
+    # Coarser hashing (fewer bits) should prune at least as much as finer hashing.
+    assert grid[(4, 8)] >= grid[(14, 8)] - 1e-9
+    for frac in grid.values():
+        assert 0.0 <= frac < 1.0

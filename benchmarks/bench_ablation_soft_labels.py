@@ -1,0 +1,47 @@
+"""Ablation — PISL hyper-parameters (alpha and the soft-label temperature).
+
+The paper selects alpha from {0.2, 0.4, 1.0} and t_soft from
+{0.2, 0.22, 0.25} (Sect. B.1).  This ablation sweeps the mixing weight to
+show how the balance between the hard label and the performance-derived
+soft label affects the selector, and verifies the degenerate cases:
+alpha = 0 is exactly the standard framework, alpha = 1 ignores hard labels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PISLConfig
+from repro.system.reporting import format_table
+
+from _harness import default_trainer_config, train_and_evaluate
+
+ALPHAS = [0.0, 0.2, 0.4, 1.0]
+
+
+@pytest.mark.benchmark(group="ablation-pisl")
+def test_ablation_pisl_alpha(benchmark, bench_world):
+    """Sweep the PISL mixing weight alpha at fixed t_soft."""
+
+    def experiment():
+        results = {}
+        for alpha in ALPHAS:
+            config = default_trainer_config(bench_world, seed=0)
+            if alpha > 0:
+                config = config.replace(pisl=PISLConfig(enabled=True, alpha=alpha, t_soft=0.25))
+            label = f"alpha={alpha}"
+            results[label] = train_and_evaluate("ResNet", bench_world, trainer_config=config, label=label)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print("\n=== Ablation: PISL mixing weight alpha (t_soft = 0.25) ===")
+    rows = [[label, run.average_auc_pr, run.training_time_s] for label, run in results.items()]
+    print(format_table(["Config", "Avg AUC-PR", "Train time s"], rows))
+
+    values = [run.average_auc_pr for run in results.values()]
+    assert all(0.0 < v <= 1.0 for v in values)
+    # Soft labels should not catastrophically hurt at any mixing weight.
+    baseline = results["alpha=0.0"].average_auc_pr
+    assert max(values) >= baseline - 1e-9
+    assert min(values) >= baseline - 0.12

@@ -1,0 +1,92 @@
+"""Fig. 4 / Table 9 — comparison against existing model-selection solutions.
+
+The paper compares "Ours" (ResNet selector trained with KDSelector, without
+PA for fairness) against nine baselines over 14 test datasets: feature-based
+KNN / SVC / AdaBoost / RandomForest, kernel-based Rocket, and NN-based
+ConvNet / ResNet / InceptionTime / Transformer, reporting the AUC-PR of the
+selected detectors per dataset.
+
+Expected shape here: "Ours" is the strongest NN-based solution (in
+particular it beats its own ResNet backbone trained the standard way) and
+ranks in the upper half of all ten solutions.  One deviation from the paper
+is expected at this scale: the synthetic dataset families are separable
+from simple window statistics, so the feature-based baselines (KNN /
+AdaBoost / RandomForest) are relatively stronger here than on the real
+TSB-UAD data, where they trail the NN selectors by a wide margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MKIConfig, PISLConfig
+from repro.system.reporting import format_table, per_dataset_table
+
+from _harness import default_trainer_config, train_and_evaluate
+
+BASELINES = [
+    "KNN", "SVC", "AdaBoost", "RandomForest", "Rocket",
+    "ConvNet", "ResNet", "InceptionTime", "Transformer",
+]
+
+#: Average AUC-PR of each solution in the paper (Table 9 bottom row averages).
+PAPER_AVERAGES = {
+    "KNN": 0.335, "SVC": 0.302, "AdaBoost": 0.286, "RandomForest": 0.297,
+    "ConvNet": 0.434, "ResNet": 0.421, "InceptionTime": 0.414,
+    "Transformer": 0.435, "Rocket": 0.357, "Ours": 0.461,
+}
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_model_selection_solutions(benchmark, bench_world):
+    """Evaluate all baseline selectors plus the KDSelector-enhanced ResNet."""
+
+    def experiment():
+        results = {}
+        for name in BASELINES:
+            config = default_trainer_config(bench_world, seed=0)
+            results[name] = train_and_evaluate(name, bench_world, trainer_config=config, label=name)
+        # "Ours": ResNet + PISL + MKI (PA excluded, as in the paper's Fig. 4 protocol).
+        ours_config = default_trainer_config(bench_world, seed=0).replace(
+            pisl=PISLConfig(enabled=True, alpha=0.4, t_soft=0.25),
+            mki=MKIConfig(enabled=True, weight=0.78, projection_dim=64),
+        )
+        results["Ours"] = train_and_evaluate("ResNet", bench_world, trainer_config=ours_config, label="Ours")
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print("\n=== Fig. 4 / Table 9: AUC-PR of different solutions (reproduction) ===")
+    print(per_dataset_table({name: run.per_dataset for name, run in results.items()}))
+
+    rows = []
+    for name, run in results.items():
+        rows.append([name, run.average_auc_pr, PAPER_AVERAGES[name], run.training_time_s])
+    rows.sort(key=lambda row: -row[1])
+    print("\nAverage over datasets (ours vs paper):")
+    print(format_table(["Solution", "Avg AUC-PR (ours)", "Avg AUC-PR (paper)", "Train time s"], rows))
+
+    ours = results["Ours"]
+    averages = {name: run.average_auc_pr for name, run in results.items()}
+    ranking = sorted(averages, key=averages.get, reverse=True)
+
+    # Shape checks: Ours beats its own backbone (ResNet trained the standard
+    # way), is the best (or tied-best) NN-based solution, and sits in the
+    # upper half of the overall ranking.
+    assert ours.average_auc_pr >= results["ResNet"].average_auc_pr - 0.02
+    nn_based = ["ConvNet", "ResNet", "InceptionTime", "Transformer"]
+    best_nn_baseline = max(results[name].average_auc_pr for name in nn_based)
+    assert ours.average_auc_pr >= best_nn_baseline - 0.02
+    assert ranking.index("Ours") < len(ranking) // 2, \
+        f"Ours ranked {ranking.index('Ours') + 1} in {ranking}"
+
+    # Ours should win or tie on a reasonable share of datasets against every
+    # individual baseline (Fig. 4 shows it winning most panels).
+    win_or_tie = 0
+    datasets = list(ours.per_dataset)
+    for dataset in datasets:
+        best_baseline = max(results[name].per_dataset[dataset] for name in BASELINES)
+        if ours.per_dataset[dataset] >= best_baseline - 0.05:
+            win_or_tie += 1
+    assert win_or_tie >= len(datasets) // 3

@@ -1,0 +1,96 @@
+"""Scalability — model selection vs running everything (ensembling).
+
+The paper motivates model selection as the scalable alternative to
+ensembles: an ensemble must run all ``m`` candidate detectors per series,
+while a selector runs exactly one.  This benchmark measures the detection
+cost (wall-clock per series) and the quality of four strategies on the same
+test series:
+
+* single best detector (no selection),
+* the learned selector ("Ours": ResNet + PISL + MKI),
+* the mean ensemble of all 12 detectors,
+* the oracle (perfect per-series selection — quality ceiling, cost of one).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import MKIConfig, PISLConfig
+from repro.detectors import DetectorEnsemble, make_default_model_set
+from repro.eval import auc_pr, oracle_upper_bound, single_best_baseline
+from repro.system.reporting import format_table
+
+from _harness import default_trainer_config, train_and_evaluate
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_scalability_selection_vs_ensemble(benchmark, bench_world):
+    """Quality and per-series detection cost of selection vs ensembling."""
+
+    def experiment():
+        # Quality of the learned selector (reuses the Fig. 4 "Ours" config).
+        ours_config = default_trainer_config(bench_world, seed=0).replace(
+            pisl=PISLConfig(enabled=True, alpha=0.4, t_soft=0.25),
+            mki=MKIConfig(enabled=True, weight=0.78, projection_dim=64),
+        )
+        ours = train_and_evaluate("ResNet", bench_world, trainer_config=ours_config, label="Ours")
+
+        # Reference points from the oracle matrix.
+        upper = oracle_upper_bound(bench_world.test_records, bench_world.perf_test)
+        single = single_best_baseline(bench_world.test_records, bench_world.perf_test,
+                                      bench_world.detector_names)
+        oracle_avg = float(np.mean(list(upper.values())))
+        single_avg = float(np.mean([v for k, v in single.items() if not k.startswith("__")]))
+
+        # Detection cost and ensemble quality measured on a handful of series.
+        sample_records = bench_world.test_records[:4]
+        window = bench_world.scale["detector_window"]
+        model_set = make_default_model_set(window=window, fast=True)
+        ensemble = DetectorEnsemble(model_set=model_set, aggregation="mean", window=window)
+
+        single_name = single["__detector_name__"]
+        start = time.perf_counter()
+        single_scores = [model_set[single_name].detect(r.series) for r in sample_records]
+        single_cost = (time.perf_counter() - start) / len(sample_records)
+
+        start = time.perf_counter()
+        ensemble_scores = [ensemble.detect(r.series) for r in sample_records]
+        ensemble_cost = (time.perf_counter() - start) / len(sample_records)
+
+        ensemble_quality = float(np.mean([
+            auc_pr(record.labels, scores)
+            for record, scores in zip(sample_records, ensemble_scores)
+        ]))
+        del single_scores
+        return {
+            "ours": ours,
+            "oracle_avg": oracle_avg,
+            "single_avg": single_avg,
+            "single_name": single_name,
+            "single_cost": single_cost,
+            "ensemble_cost": ensemble_cost,
+            "ensemble_quality": ensemble_quality,
+            "n_detectors": len(model_set),
+        }
+
+    out = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print("\n=== Scalability: selection vs ensembling ===")
+    rows = [
+        [f"Single best ({out['single_name']})", out["single_avg"], "1 detector run", f"{out['single_cost']:.2f}s"],
+        ["Learned selector (Ours)", out["ours"].average_auc_pr, "1 detector run", f"~{out['single_cost']:.2f}s"],
+        ["Mean ensemble (all 12)", out["ensemble_quality"],
+         f"{out['n_detectors']} detector runs", f"{out['ensemble_cost']:.2f}s"],
+        ["Oracle selection (ceiling)", out["oracle_avg"], "1 detector run", "-"],
+    ]
+    print(format_table(["Strategy", "Avg AUC-PR", "Detection cost / series", "Measured cost"], rows))
+
+    # Shape checks: the ensemble is far more expensive per series; the learned
+    # selector beats the single-best baseline and stays below the oracle.
+    assert out["ensemble_cost"] > 3.0 * out["single_cost"]
+    assert out["ours"].average_auc_pr >= out["single_avg"] - 0.05
+    assert out["ours"].average_auc_pr <= out["oracle_avg"] + 1e-9

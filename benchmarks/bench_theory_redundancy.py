@@ -1,0 +1,61 @@
+"""Empirical check of the paper's Sect. A.1 redundancy analysis.
+
+The theoretical argument behind PA: training samples that are similar in
+value and in loss contribute nearly identical gradients, so pruning some of
+them (and rescaling the rest) barely changes the SGD update.  This
+benchmark measures per-sample gradient distances on a trained selector and
+compares pairs drawn from the same PA bucket (same LSH table, same loss
+bin, above-average loss) against random pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PruningConfig, TrainerConfig, gradient_redundancy
+from repro.system.reporting import format_table
+
+from _harness import build_world, make_bench_selector
+
+
+@pytest.mark.benchmark(group="theory")
+def test_theory_gradient_redundancy(benchmark, bench_world):
+    """Bucketed pairs should have closer gradients than random pairs."""
+
+    def experiment():
+        selector = make_bench_selector("MLP", bench_world, seed=0)
+        selector.fit(
+            bench_world.train_dataset,
+            config=TrainerConfig(epochs=3, batch_size=64, seed=0),
+        )
+        # Use each sample's current cross-entropy loss as the loss signal.
+        proba = selector.predict_proba(bench_world.train_dataset.windows)
+        eps = 1e-12
+        losses = -np.log(
+            proba[np.arange(len(proba)), bench_world.train_dataset.hard_labels] + eps
+        )
+        return gradient_redundancy(
+            selector,
+            bench_world.train_dataset,
+            losses,
+            config=PruningConfig(method="pa", ratio=0.8, lsh_bits=8, n_bins=8),
+            max_pairs=24,
+            seed=0,
+        )
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print("\n=== Theory check (Sect. A.1): gradient redundancy of PA buckets ===")
+    rows = [
+        ["same PA bucket", result["bucket_pair_distance"], int(result["n_bucket_pairs"])],
+        ["random pairs", result["random_pair_distance"], int(result["n_random_pairs"])],
+    ]
+    print(format_table(["Pair type", "Mean relative gradient distance", "Pairs measured"], rows))
+
+    assert result["n_random_pairs"] > 0
+    assert np.isfinite(result["random_pair_distance"])
+    if result["n_bucket_pairs"] >= 5:
+        # The paper's claim: redundant (bucketed) samples have more similar
+        # gradients than arbitrary sample pairs.
+        assert result["bucket_pair_distance"] < result["random_pair_distance"]

@@ -1,0 +1,13 @@
+"""Pytest fixtures for the benchmark harness (see ``_harness.py``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import BenchWorld, build_world
+
+
+@pytest.fixture(scope="session")
+def bench_world() -> BenchWorld:
+    """The shared experiment world: data, oracle knowledge and test series."""
+    return build_world()

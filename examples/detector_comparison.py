@@ -1,0 +1,69 @@
+"""Scenario: why model selection matters — no single detector wins everywhere.
+
+This example reproduces the motivation of the paper's introduction: it runs
+all 12 TSAD models over series from several heterogeneous dataset families
+and prints the per-family AUC-PR matrix.  The winning detector changes from
+family to family (periodic ECG-like data favours discord/pattern methods,
+noisy server metrics favour density/histogram methods, chaotic MGAB favours
+forecasting methods), which is exactly why a learned selector helps.
+
+Run with:  python examples/detector_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import generate_series
+from repro.detectors import make_default_model_set
+from repro.eval import Oracle
+from repro.system.reporting import format_table
+
+FAMILIES = ["ECG", "MGAB", "IOPS", "SensorScope", "SMD", "Genesis"]
+SERIES_PER_FAMILY = 2
+LENGTH = 800
+
+
+def main() -> None:
+    model_set = make_default_model_set(window=24, fast=True)
+    oracle = Oracle(model_set, metric="auc_pr", cache_dir=".quickstart_cache")
+
+    records = [
+        generate_series(family, index, LENGTH, seed=3)
+        for family in FAMILIES
+        for index in range(SERIES_PER_FAMILY)
+    ]
+    print(f"scoring {len(records)} series with {len(model_set)} detectors "
+          "(this is the expensive 'oracle' step; results are cached) ...")
+    matrix = oracle.performance_matrix(records)
+
+    # Average the per-series AUC-PR within each family.
+    rows = []
+    winners = {}
+    for f_idx, family in enumerate(FAMILIES):
+        block = matrix[f_idx * SERIES_PER_FAMILY:(f_idx + 1) * SERIES_PER_FAMILY]
+        means = block.mean(axis=0)
+        winner = oracle.detector_names[int(means.argmax())]
+        winners[family] = winner
+        rows.append([family] + list(means) + [winner])
+
+    print("\nPer-family average AUC-PR of each TSAD model:")
+    print(format_table(["Family"] + oracle.detector_names + ["Winner"], rows, float_format="{:.2f}"))
+
+    print("\nWinning detector per family:")
+    for family, winner in winners.items():
+        print(f"  {family:12s} -> {winner}")
+
+    distinct = len(set(winners.values()))
+    print(f"\n{distinct} distinct winners across {len(FAMILIES)} families — "
+          "no single TSAD model dominates, which is the case for model selection.")
+
+    best_single = matrix.mean(axis=0).max()
+    oracle_choice = matrix.max(axis=1).mean()
+    print(f"best single detector (average AUC-PR): {best_single:.4f}")
+    print(f"perfect per-series selection (oracle):  {oracle_choice:.4f}")
+    print(f"headroom unlocked by model selection:   {oracle_choice - best_single:+.4f}")
+
+
+if __name__ == "__main__":
+    main()

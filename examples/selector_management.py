@@ -1,0 +1,89 @@
+"""Scenario: train several selectors, persist them, reload and compare.
+
+Mirrors the "Selector Management" component of the demo system: multiple
+selectors (non-NN and NN, with and without KDSelector) are trained on the
+same historical data, saved to a selector store with metadata, and later
+reloaded to pick the best one for deployment.
+
+Run with:  python examples/selector_management.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.core import TrainerConfig, kdselector_config
+from repro.data import TSBUADBenchmark, build_selector_dataset
+from repro.detectors import make_default_model_set
+from repro.eval import Oracle, evaluate_selection
+from repro.selectors import make_selector
+from repro.selectors.nn_selector import NNSelector
+from repro.system import SelectorStore
+from repro.system.reporting import format_table
+
+WINDOW = 64
+
+
+def main() -> None:
+    # Shared historical data and oracle knowledge.
+    benchmark = TSBUADBenchmark(n_train_per_dataset=1, n_test_per_dataset=1,
+                                series_length=800, seed=5).load()
+    oracle = Oracle(make_default_model_set(window=24, fast=True), metric="auc_pr",
+                    cache_dir=".quickstart_cache")
+    perf_train = oracle.performance_matrix(benchmark.train_records)
+    dataset = build_selector_dataset(benchmark.train_records, perf_train,
+                                     oracle.detector_names, window=WINDOW, stride=32)
+    test_records = benchmark.all_test_records
+    perf_test = oracle.performance_matrix(test_records)
+
+    store_dir = tempfile.mkdtemp(prefix="kdselector_store_")
+    store = SelectorStore(store_dir)
+    print(f"selector store at {store_dir}\n")
+
+    candidates = {
+        "rocket": ("Rocket", {"n_kernels": 128}, None),
+        "random_forest": ("RandomForest", {"n_estimators": 30}, None),
+        "resnet_standard": ("ResNet", {"window": WINDOW, "mid_channels": 12, "num_layers": 2},
+                            TrainerConfig(epochs=4, batch_size=64, seed=0)),
+        "resnet_kdselector": ("ResNet", {"window": WINDOW, "mid_channels": 12, "num_layers": 2},
+                              kdselector_config(epochs=4, batch_size=64, seed=0)),
+    }
+
+    # Train, evaluate and persist every candidate.
+    for name, (selector_type, kwargs, config) in candidates.items():
+        print(f"training {name} ({selector_type}) ...")
+        selector = make_selector(selector_type, n_classes=dataset.n_classes, seed=0, **kwargs)
+        if isinstance(selector, NNSelector):
+            selector.fit(dataset, config=config)
+        else:
+            selector.fit(dataset)
+        evaluation = evaluate_selection(selector, test_records, perf_test,
+                                        oracle.detector_names, window=WINDOW)
+        store.save(name, selector, metadata={
+            "selector_type": selector_type,
+            "avg_auc_pr": round(evaluation.average_score, 4),
+            "selection_accuracy": round(evaluation.selection_accuracy, 4),
+            "window": WINDOW,
+        }, overwrite=True)
+
+    # Later (possibly in another process): list the store and pick the best.
+    print("\nstored selectors:")
+    rows = [
+        [info.name, info.selector_type, "NN" if info.is_neural else "non-NN",
+         info.metadata.get("avg_auc_pr", float("nan")),
+         info.metadata.get("selection_accuracy", float("nan"))]
+        for info in store.list()
+    ]
+    print(format_table(["Name", "Type", "Kind", "Avg AUC-PR", "Selection acc"], rows))
+
+    best = max(store.list(), key=lambda info: info.metadata.get("avg_auc_pr", 0.0))
+    print(f"\nreloading best selector: {best.name}")
+    reloaded = store.load(best.name)
+    evaluation = evaluate_selection(reloaded, test_records, perf_test,
+                                    oracle.detector_names, window=WINDOW)
+    print(f"re-evaluated average AUC-PR after reload: {evaluation.average_score:.4f} "
+          f"(stored: {best.metadata['avg_auc_pr']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""Hyper-parameter search over the KDSelector grids.
+
+Sect. B.1 of the paper selects ``t_soft`` from {0.2, 0.22, 0.25}, ``alpha``
+from {0.2, 0.4, 1.0}, ``lambda`` from {0.78, 1.0} and the projection
+dimension ``H`` from {64, 256}.  :func:`grid_search` reproduces that
+protocol: it trains one selector per grid point on the training windows and
+scores it on a validation split (window-level hard-label accuracy by
+default, or a user-supplied scorer), returning every trial so the search is
+fully auditable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..data.windows import SelectorDataset
+from .config import MKIConfig, PISLConfig, TrainerConfig
+from .trainer import SelectorTrainer
+
+#: The paper's hyper-parameter grid (Sect. B.1).
+PAPER_GRID: Dict[str, Sequence] = {
+    "alpha": (0.2, 0.4, 1.0),
+    "t_soft": (0.2, 0.22, 0.25),
+    "mki_weight": (0.78, 1.0),
+    "projection_dim": (64, 256),
+}
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One grid point and its validation outcome."""
+
+    params: Dict[str, object]
+    score: float
+    training_time_s: float
+
+
+@dataclass
+class GridSearchResult:
+    """All trials of a grid search, sorted utilities included."""
+
+    trials: List[Trial] = field(default_factory=list)
+
+    @property
+    def best(self) -> Trial:
+        if not self.trials:
+            raise RuntimeError("grid search produced no trials")
+        return max(self.trials, key=lambda t: t.score)
+
+    def top(self, k: int = 3) -> List[Trial]:
+        return sorted(self.trials, key=lambda t: -t.score)[:k]
+
+    def as_rows(self) -> List[List[object]]:
+        """Rows (params..., score, time) for tabular reporting."""
+        rows = []
+        for trial in sorted(self.trials, key=lambda t: -t.score):
+            rows.append([*(f"{k}={v}" for k, v in trial.params.items()), trial.score, trial.training_time_s])
+        return rows
+
+
+def _config_for(params: Mapping[str, object], base: TrainerConfig) -> TrainerConfig:
+    """Translate a grid point into a TrainerConfig.
+
+    A module is switched on when the grid tunes one of its hyper-parameters
+    or when the base configuration already enables it; otherwise the base
+    setting is kept (so a grid over PISL only does not silently enable MKI).
+    """
+    pisl_enabled = base.pisl.enabled or "alpha" in params or "t_soft" in params
+    mki_enabled = base.mki.enabled or "mki_weight" in params or "projection_dim" in params
+    pisl = PISLConfig(
+        enabled=pisl_enabled,
+        alpha=float(params.get("alpha", base.pisl.alpha)),
+        t_soft=float(params.get("t_soft", base.pisl.t_soft)),
+    )
+    mki = MKIConfig(
+        enabled=mki_enabled,
+        weight=float(params.get("mki_weight", base.mki.weight)),
+        projection_dim=int(params.get("projection_dim", base.mki.projection_dim)),
+        projection_hidden=base.mki.projection_hidden,
+        temperature=base.mki.temperature,
+        text_dim=base.mki.text_dim,
+    )
+    return base.replace(pisl=pisl, mki=mki)
+
+
+def default_validation_scorer(selector, validation: SelectorDataset) -> float:
+    """Window-level hard-label accuracy on the validation split."""
+    if len(validation) == 0:
+        return 0.0
+    predictions = selector.predict_proba(validation.windows).argmax(axis=1)
+    return float((predictions == validation.hard_labels).mean())
+
+
+def grid_search(
+    selector_factory: Callable[[], object],
+    dataset: SelectorDataset,
+    grid: Optional[Mapping[str, Sequence]] = None,
+    base_config: Optional[TrainerConfig] = None,
+    val_fraction: float = 0.3,
+    scorer: Optional[Callable[[object, SelectorDataset], float]] = None,
+    seed: int = 0,
+    verbose: bool = False,
+) -> GridSearchResult:
+    """Train one selector per grid point and score it on a validation split.
+
+    ``selector_factory`` must return a *fresh* NN selector each time it is
+    called, so that grid points do not share parameters.
+    """
+    grid = dict(PAPER_GRID if grid is None else grid)
+    if not grid:
+        raise ValueError("grid must contain at least one hyper-parameter")
+    base_config = base_config or TrainerConfig(epochs=5, batch_size=64, seed=seed)
+    scorer = scorer or default_validation_scorer
+
+    train_split, val_split = dataset.train_val_split(val_fraction, seed=seed)
+    if len(val_split) == 0:
+        raise ValueError("validation split is empty; increase val_fraction or dataset size")
+
+    keys = list(grid)
+    result = GridSearchResult()
+    for values in itertools.product(*(grid[key] for key in keys)):
+        params = dict(zip(keys, values))
+        config = _config_for(params, base_config)
+        selector = selector_factory()
+        start = time.perf_counter()
+        SelectorTrainer(selector, config).fit(train_split)
+        elapsed = time.perf_counter() - start
+        score = float(scorer(selector, val_split))
+        result.trials.append(Trial(params=params, score=score, training_time_s=elapsed))
+        if verbose:
+            print(f"grid point {params}: score={score:.4f} time={elapsed:.1f}s")
+    return result

@@ -1,0 +1,57 @@
+"""Natural-language metadata used by the Meta-Knowledge Integration module.
+
+The paper feeds a templated description of each series (dataset domain,
+length, number of anomalies, anomaly durations) into a frozen language
+model.  :func:`describe_record` reproduces the exact template from
+Sect. B.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .records import TimeSeriesRecord
+
+
+def _format_lengths(lengths: Iterable[int]) -> str:
+    lengths = list(lengths)
+    if not lengths:
+        return ""
+    return ", ".join(str(v) for v in lengths)
+
+
+def describe_record(record: TimeSeriesRecord) -> str:
+    """Render the paper's metadata template for one time series.
+
+    Template (Sect. B.1): "This is a time series from dataset [Dataset name],
+    [Description]. The length of the series is [Length]. There are [Number of
+    anomalies] anomalies in this series. The lengths of the anomalies are
+    [lengths]."  The last sentence is omitted when the series has no anomaly.
+    """
+    parts = [
+        f"This is a time series from dataset {record.dataset}, which is {record.domain_description}.",
+        f"The length of the series is {record.length}.",
+        f"There are {record.n_anomalies} anomalies in this series.",
+    ]
+    if record.n_anomalies > 0:
+        parts.append(f"The lengths of the anomalies are {_format_lengths(record.anomaly_lengths)}.")
+    return " ".join(parts)
+
+
+def describe_subsequence(record: TimeSeriesRecord, start: int, window: int) -> str:
+    """Describe a subsequence of a series, restricted to local anomalies.
+
+    Used when metadata is attached per training window rather than per
+    series: the anomaly count/durations are those that overlap the window.
+    """
+    end = start + window
+    local = [span for span in record.anomalies if span.start < end and span.end > start]
+    parts = [
+        f"This is a time series from dataset {record.dataset}, which is {record.domain_description}.",
+        f"The length of the series is {window}.",
+        f"There are {len(local)} anomalies in this series.",
+    ]
+    if local:
+        lengths = [min(span.end, end) - max(span.start, start) for span in local]
+        parts.append(f"The lengths of the anomalies are {_format_lengths(lengths)}.")
+    return " ".join(parts)

@@ -1,0 +1,91 @@
+"""Data records shared across the benchmark, oracle and selector pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from .anomalies import AnomalySpan
+
+#: Domain descriptions lifted from Table 4 of the paper (abridged); these are
+#: the natural-language dataset descriptions consumed by the MKI module.
+DATASET_DESCRIPTIONS: Dict[str, str] = {
+    "Dodgers": "a loop sensor data for the Glendale on-ramp for the 101 North freeway in Los Angeles, "
+               "where anomalies represent unusual traffic after a Dodgers game",
+    "ECG": "a standard electrocardiogram dataset where the anomalies represent ventricular premature contractions",
+    "IOPS": "a dataset with performance indicators that reflect the scale, quality of web services, "
+            "and health status of a machine",
+    "KDD21": "a composite dataset released in a recent SIGKDD 2021 competition",
+    "MGAB": "composed of Mackey-Glass time series with non-trivial anomalies exhibiting chaotic behavior",
+    "NAB": "composed of labeled real-world and artificial time series including AWS server metrics, "
+           "online advertisement clicking rates, real time traffic data and Twitter mentions",
+    "SensorScope": "a collection of environmental data, such as temperature, humidity and solar radiation, "
+                   "collected from a tiered sensor measurement system",
+    "YAHOO": "a dataset published by Yahoo labs consisting of real and synthetic time series based on "
+             "real production traffic to Yahoo systems",
+    "Daphnet": "the annotated readings of acceleration sensors on Parkinson's disease patients that "
+               "experience freezing of gait during walking tasks",
+    "GHL": "a Gasoil Heating Loop dataset containing the status of reservoirs such as temperature and level, "
+           "where anomalies indicate changes in max temperature or pump frequency",
+    "Genesis": "a portable pick-and-place demonstrator which uses an air tank to supply gripping and storage units",
+    "MITDB": "half-hour excerpts of two-channel ambulatory ECG recordings from the BIH Arrhythmia Laboratory",
+    "OPPORTUNITY": "motion sensor readings recorded while users executed typical daily activities, "
+                   "devised to benchmark human activity recognition algorithms",
+    "Occupancy": "experimental data for binary room-occupancy classification from temperature, humidity, "
+                 "light and CO2 measurements",
+    "SMD": "a five-week-long server machine dataset collected from a large Internet company with three "
+           "groups of entities from 28 different machines",
+    "SVDB": "half-hour ECG recordings chosen to supplement supraventricular arrhythmia examples from the "
+            "MIT-BIH Arrhythmia Database",
+}
+
+#: Order used throughout the reproduction (matches Table 4).
+DATASET_NAMES: List[str] = list(DATASET_DESCRIPTIONS)
+
+#: The 14 subsets used as test data in Fig. 4 (Dodgers and Occupancy are train-only).
+TEST_DATASET_NAMES: List[str] = [
+    name for name in DATASET_NAMES if name not in ("Dodgers", "Occupancy")
+]
+
+
+@dataclass
+class TimeSeriesRecord:
+    """A labelled univariate time series plus its provenance metadata."""
+
+    name: str
+    dataset: str
+    series: np.ndarray
+    labels: np.ndarray
+    anomalies: List[AnomalySpan] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.series = np.asarray(self.series, dtype=np.float64).ravel()
+        self.labels = np.asarray(self.labels, dtype=int).ravel()
+        if self.series.shape != self.labels.shape:
+            raise ValueError(
+                f"series and labels must align: {self.series.shape} vs {self.labels.shape}"
+            )
+
+    @property
+    def length(self) -> int:
+        return int(len(self.series))
+
+    @property
+    def n_anomalies(self) -> int:
+        return len(self.anomalies)
+
+    @property
+    def anomaly_lengths(self) -> List[int]:
+        return [span.length for span in self.anomalies]
+
+    @property
+    def domain_description(self) -> str:
+        return DATASET_DESCRIPTIONS.get(self.dataset, "a univariate time series dataset")
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSeriesRecord(name={self.name!r}, dataset={self.dataset!r}, "
+            f"length={self.length}, anomalies={self.n_anomalies})"
+        )

@@ -1,0 +1,161 @@
+"""Windowed selector datasets.
+
+The selector is a time-series classifier over fixed-length subsequences
+(Sect. 2 of the paper): raw series of variable length are cut into windows
+of size ``L``; the selector predicts a TSAD model per window and the final
+per-series choice is a majority vote.
+
+:class:`SelectorDataset` bundles everything the KDSelector trainer needs:
+
+* ``windows``       — (N, L) z-normalised subsequences,
+* ``hard_labels``   — index of the best detector for the source series,
+* ``performances``  — per-window copy of the detector performance vector
+  (the knowledge PISL turns into soft labels),
+* ``metadata_texts``— natural-language descriptions (the knowledge MKI
+  embeds),
+* ``series_ids``    — which source series each window came from (used for
+  majority voting at evaluation time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..ml.scalers import zscore
+from .metadata import describe_record
+from .records import TimeSeriesRecord
+
+
+def extract_windows(series: np.ndarray, window: int, stride: Optional[int] = None,
+                    normalize: bool = True) -> np.ndarray:
+    """Cut a series into (possibly overlapping) fixed-length windows.
+
+    Series shorter than ``window`` are padded by repeating their last value
+    so that every series contributes at least one window.
+    """
+    series = np.asarray(series, dtype=np.float64).ravel()
+    stride = stride or window
+    if len(series) < window:
+        series = np.concatenate([series, np.full(window - len(series), series[-1] if len(series) else 0.0)])
+    n = (len(series) - window) // stride + 1
+    idx = np.arange(window)[None, :] + stride * np.arange(n)[:, None]
+    windows = series[idx]
+    if normalize:
+        windows = np.apply_along_axis(zscore, 1, windows)
+    return windows
+
+
+@dataclass
+class SelectorDataset:
+    """Training/evaluation samples for selector learning."""
+
+    windows: np.ndarray
+    hard_labels: np.ndarray
+    performances: np.ndarray
+    metadata_texts: List[str]
+    series_ids: np.ndarray
+    series_names: List[str]
+    series_datasets: List[str]
+    detector_names: List[str]
+    window_size: int
+
+    def __post_init__(self) -> None:
+        self.windows = np.asarray(self.windows, dtype=np.float64)
+        self.hard_labels = np.asarray(self.hard_labels, dtype=int)
+        self.performances = np.asarray(self.performances, dtype=np.float64)
+        self.series_ids = np.asarray(self.series_ids, dtype=int)
+        n = len(self.windows)
+        if not (len(self.hard_labels) == len(self.performances) == len(self.metadata_texts)
+                == len(self.series_ids) == n):
+            raise ValueError("all per-window arrays must have the same length")
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.detector_names)
+
+    def subset(self, indices: Sequence[int]) -> "SelectorDataset":
+        """Return a new dataset restricted to the given window indices."""
+        indices = np.asarray(indices, dtype=int)
+        return SelectorDataset(
+            windows=self.windows[indices],
+            hard_labels=self.hard_labels[indices],
+            performances=self.performances[indices],
+            metadata_texts=[self.metadata_texts[i] for i in indices],
+            series_ids=self.series_ids[indices],
+            series_names=self.series_names,
+            series_datasets=self.series_datasets,
+            detector_names=self.detector_names,
+            window_size=self.window_size,
+        )
+
+    def train_val_split(self, val_fraction: float = 0.3, seed: int = 0) -> tuple["SelectorDataset", "SelectorDataset"]:
+        """Random window-level split (the system UI's Training/Validation split)."""
+        if not 0.0 <= val_fraction < 1.0:
+            raise ValueError("val_fraction must be in [0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        n_val = int(len(self) * val_fraction)
+        return self.subset(order[n_val:]), self.subset(order[:n_val])
+
+
+def build_selector_dataset(
+    records: Sequence[TimeSeriesRecord],
+    performance_matrix: np.ndarray,
+    detector_names: Sequence[str],
+    window: int = 128,
+    stride: Optional[int] = None,
+    max_windows_per_series: Optional[int] = None,
+    seed: int = 0,
+) -> SelectorDataset:
+    """Assemble the windowed selector dataset from labelled series.
+
+    ``performance_matrix`` has shape (n_series, n_detectors): entry (i, j) is
+    the detection performance (e.g. AUC-PR) of detector ``j`` on series
+    ``i`` — the oracle knowledge produced by :mod:`repro.eval.oracle`.
+    """
+    performance_matrix = np.asarray(performance_matrix, dtype=np.float64)
+    if performance_matrix.shape != (len(records), len(detector_names)):
+        raise ValueError(
+            f"performance matrix shape {performance_matrix.shape} does not match "
+            f"({len(records)}, {len(detector_names)})"
+        )
+    rng = np.random.default_rng(seed)
+
+    all_windows: List[np.ndarray] = []
+    hard_labels: List[int] = []
+    performances: List[np.ndarray] = []
+    texts: List[str] = []
+    series_ids: List[int] = []
+
+    for series_idx, record in enumerate(records):
+        windows = extract_windows(record.series, window, stride=stride)
+        if max_windows_per_series is not None and len(windows) > max_windows_per_series:
+            keep = rng.choice(len(windows), size=max_windows_per_series, replace=False)
+            windows = windows[np.sort(keep)]
+        perf = performance_matrix[series_idx]
+        label = int(np.argmax(perf))
+        text = describe_record(record)
+        for row in windows:
+            all_windows.append(row)
+            hard_labels.append(label)
+            performances.append(perf)
+            texts.append(text)
+            series_ids.append(series_idx)
+
+    return SelectorDataset(
+        windows=np.asarray(all_windows),
+        hard_labels=np.asarray(hard_labels),
+        performances=np.asarray(performances),
+        metadata_texts=texts,
+        series_ids=np.asarray(series_ids),
+        series_names=[r.name for r in records],
+        series_datasets=[r.dataset for r in records],
+        detector_names=list(detector_names),
+        window_size=window,
+    )

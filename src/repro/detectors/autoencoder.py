@@ -1,0 +1,77 @@
+"""Autoencoder reconstruction detector built on ``repro.nn``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..ml.scalers import zscore
+from .base import AnomalyDetector, register_detector, sliding_windows, window_scores_to_point_scores
+
+
+class _AutoEncoder(nn.Module):
+    """Small MLP autoencoder over fixed-length windows."""
+
+    def __init__(self, window: int, latent: int = 8, hidden: int = 32) -> None:
+        super().__init__()
+        self.encoder = nn.Sequential(nn.Linear(window, hidden), nn.ReLU(), nn.Linear(hidden, latent))
+        self.decoder = nn.Sequential(nn.Linear(latent, hidden), nn.ReLU(), nn.Linear(hidden, window))
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.decoder(self.encoder(x))
+
+
+@register_detector("AE")
+class AutoEncoderDetector(AnomalyDetector):
+    """Project windows into a latent space and score by reconstruction error."""
+
+    def __init__(
+        self,
+        window: int = 32,
+        latent: int = 8,
+        hidden: int = 32,
+        epochs: int = 10,
+        batch_size: int = 64,
+        lr: float = 1e-2,
+        max_train_windows: int = 512,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(window)
+        self.latent = latent
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.max_train_windows = max_train_windows
+        self.seed = seed
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64).ravel()
+        window = self.effective_window(series)
+        subs = sliding_windows(series, window)
+        z = np.apply_along_axis(zscore, 1, subs)
+
+        rng = np.random.default_rng(self.seed)
+        if len(z) > self.max_train_windows:
+            train = z[rng.choice(len(z), size=self.max_train_windows, replace=False)]
+        else:
+            train = z
+
+        nn.init.set_seed(self.seed)
+        model = _AutoEncoder(window, latent=min(self.latent, window // 2), hidden=self.hidden)
+        opt = nn.Adam(model.parameters(), lr=self.lr)
+        for _ in range(self.epochs):
+            order = rng.permutation(len(train))
+            for start in range(0, len(train), self.batch_size):
+                batch = train[order[start:start + self.batch_size]]
+                recon = model(nn.Tensor(batch))
+                loss = nn.mse_loss(recon, batch)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+
+        model.eval()
+        with nn.no_grad():
+            recon = model(nn.Tensor(z)).numpy()
+        window_scores = ((recon - z) ** 2).mean(axis=1)
+        return window_scores_to_point_scores(window_scores, len(series), window)

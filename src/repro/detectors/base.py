@@ -1,0 +1,149 @@
+"""Common infrastructure for the TSAD model set.
+
+Every detector follows the TSB-UAD convention used by the paper: it is an
+*unsupervised* scorer that receives a univariate series and returns one
+anomaly score per data point (larger = more anomalous).  Detectors that
+operate on subsequences map their per-window scores back to per-point
+scores by averaging the scores of all windows covering a point.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+
+def sliding_windows(series: np.ndarray, window: int, stride: int = 1) -> np.ndarray:
+    """Return the (n_windows, window) matrix of subsequences of ``series``."""
+    series = np.asarray(series, dtype=np.float64).ravel()
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if len(series) < window:
+        raise ValueError(f"series of length {len(series)} is shorter than window {window}")
+    n = (len(series) - window) // stride + 1
+    idx = np.arange(window)[None, :] + stride * np.arange(n)[:, None]
+    return series[idx]
+
+
+def window_scores_to_point_scores(
+    window_scores: np.ndarray,
+    series_length: int,
+    window: int,
+    stride: int = 1,
+) -> np.ndarray:
+    """Spread per-window scores back onto points by averaging overlaps."""
+    scores = np.zeros(series_length, dtype=np.float64)
+    counts = np.zeros(series_length, dtype=np.float64)
+    for i, s in enumerate(np.asarray(window_scores, dtype=np.float64)):
+        start = i * stride
+        scores[start:start + window] += s
+        counts[start:start + window] += 1.0
+    counts[counts == 0] = 1.0
+    return scores / counts
+
+
+def normalize_scores(scores: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Min-max normalise scores to [0, 1]; constant scores map to zeros."""
+    scores = np.asarray(scores, dtype=np.float64)
+    lo, hi = scores.min(), scores.max()
+    if hi - lo < eps:
+        return np.zeros_like(scores)
+    return (scores - lo) / (hi - lo)
+
+
+class AnomalyDetector(ABC):
+    """Base class for all TSAD models in the candidate set."""
+
+    #: registry name (filled by :func:`register_detector`)
+    name: str = "base"
+
+    def __init__(self, window: int = 32) -> None:
+        self.window = window
+
+    @abstractmethod
+    def score(self, series: np.ndarray) -> np.ndarray:
+        """Return raw per-point anomaly scores for ``series``."""
+
+    def detect(self, series: np.ndarray) -> np.ndarray:
+        """Return per-point anomaly scores normalised to [0, 1]."""
+        series = np.asarray(series, dtype=np.float64).ravel()
+        if len(series) == 0:
+            return np.zeros(0)
+        scores = self.score(series)
+        if len(scores) != len(series):
+            raise RuntimeError(
+                f"{self.__class__.__name__} returned {len(scores)} scores for a series of "
+                f"length {len(series)}"
+            )
+        return normalize_scores(scores)
+
+    def effective_window(self, series: np.ndarray) -> int:
+        """Window size clipped so that it always fits the series."""
+        return int(max(4, min(self.window, len(series) // 2)))
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}(window={self.window})"
+
+
+_DETECTOR_REGISTRY: Dict[str, Type[AnomalyDetector]] = {}
+
+
+def register_detector(name: str):
+    """Class decorator registering a detector under ``name``."""
+
+    def wrap(cls: Type[AnomalyDetector]) -> Type[AnomalyDetector]:
+        cls.name = name
+        _DETECTOR_REGISTRY[name] = cls
+        return cls
+
+    return wrap
+
+
+def detector_names() -> list[str]:
+    """Names of all registered detectors, in registration order."""
+    return list(_DETECTOR_REGISTRY)
+
+
+def make_detector(name: str, **kwargs) -> AnomalyDetector:
+    """Instantiate a registered detector by name."""
+    if name not in _DETECTOR_REGISTRY:
+        raise KeyError(f"unknown detector {name!r}; available: {sorted(_DETECTOR_REGISTRY)}")
+    return _DETECTOR_REGISTRY[name](**kwargs)
+
+
+#: The paper's 12-model candidate set (Table 5), in its reporting order.
+DEFAULT_MODEL_NAMES = [
+    "IForest", "IForest1", "LOF", "HBOS", "MP", "NORMA",
+    "PCA", "AE", "LSTM-AD", "POLY", "CNN", "OCSVM",
+]
+
+
+def make_default_model_set(window: int = 32, fast: bool = True) -> Dict[str, AnomalyDetector]:
+    """Instantiate the paper's 12-model TSAD candidate set.
+
+    ``fast=True`` configures the neural detectors (AE / LSTM-AD / CNN) with
+    small budgets so that the oracle labelling pass stays laptop-friendly.
+    Extension detectors (see :mod:`repro.detectors.extended`) are *not*
+    included, keeping the candidate set identical to the paper's.
+    """
+    from . import (  # local import to avoid a registration cycle
+        autoencoder, cnn_ad, hbos, iforest, lof, lstm_ad,
+        matrix_profile, norma, ocsvm, pca, poly,
+    )
+    del autoencoder, cnn_ad, hbos, iforest, lof, lstm_ad
+    del matrix_profile, norma, ocsvm, pca, poly
+
+    epochs = 5 if fast else 30
+    overrides = {
+        "AE": {"epochs": epochs},
+        "LSTM-AD": {"epochs": max(2, epochs // 2)},
+        "CNN": {"epochs": epochs},
+    }
+    model_set = {}
+    for name in DEFAULT_MODEL_NAMES:
+        kwargs = {"window": window}
+        kwargs.update(overrides.get(name, {}))
+        model_set[name] = make_detector(name, **kwargs)
+    return model_set

@@ -1,0 +1,93 @@
+"""CNN forecasting detector built on ``repro.nn``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..ml.scalers import zscore
+from .base import AnomalyDetector, register_detector, sliding_windows
+
+
+class _CNNForecaster(nn.Module):
+    """Two convolution blocks followed by a linear head predicting the next value."""
+
+    def __init__(self, context: int, channels: int = 16) -> None:
+        super().__init__()
+        self.conv1 = nn.Conv1d(1, channels, kernel_size=3, padding=1)
+        self.conv2 = nn.Conv1d(channels, channels, kernel_size=3, padding=1)
+        self.head = nn.Linear(channels, 1)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        # x: (N, 1, T)
+        h = self.conv1(x).relu()
+        h = self.conv2(h).relu()
+        pooled = h.mean(axis=2)
+        return self.head(pooled).reshape(-1)
+
+
+@register_detector("CNN")
+class CNNDetector(AnomalyDetector):
+    """Predict each point from its context with a small CNN; score by error."""
+
+    def __init__(
+        self,
+        window: int = 32,
+        context: int = 16,
+        channels: int = 16,
+        epochs: int = 5,
+        batch_size: int = 64,
+        lr: float = 1e-2,
+        max_train_windows: int = 384,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(window)
+        self.context = context
+        self.channels = channels
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.max_train_windows = max_train_windows
+        self.seed = seed
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64).ravel()
+        norm = zscore(series)
+        context = int(max(4, min(self.context, len(series) // 4)))
+
+        blocks = sliding_windows(norm, context + 1)
+        inputs = blocks[:, :context]
+        targets = blocks[:, context]
+
+        rng = np.random.default_rng(self.seed)
+        if len(inputs) > self.max_train_windows:
+            train_idx = rng.choice(len(inputs), size=self.max_train_windows, replace=False)
+        else:
+            train_idx = np.arange(len(inputs))
+
+        nn.init.set_seed(self.seed)
+        model = _CNNForecaster(context, channels=self.channels)
+        opt = nn.Adam(model.parameters(), lr=self.lr)
+        for _ in range(self.epochs):
+            order = rng.permutation(train_idx)
+            for start in range(0, len(order), self.batch_size):
+                idx = order[start:start + self.batch_size]
+                pred = model(nn.Tensor(inputs[idx][:, None, :]))
+                loss = nn.mse_loss(pred, targets[idx])
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+
+        model.eval()
+        errors = np.zeros(len(inputs))
+        with nn.no_grad():
+            for start in range(0, len(inputs), 1024):
+                idx = slice(start, start + 1024)
+                pred = model(nn.Tensor(inputs[idx][:, None, :])).numpy()
+                errors[idx] = np.abs(pred - targets[idx])
+
+        scores = np.zeros(len(series))
+        scores[context:context + len(errors)] = errors
+        if context > 0 and len(errors) > 0:
+            scores[:context] = errors[0]
+        return scores

@@ -1,0 +1,96 @@
+"""Extended TSAD models beyond the paper's 12-model set.
+
+The paper notes that "more models can be integrated in the same way in
+future work".  This module demonstrates that extension path with two extra
+detectors that register themselves like any other model; they are *not*
+part of :func:`make_default_model_set` so the paper's experiments keep the
+original candidate set, but they can be added to any pipeline's model set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ml.neighbors import kneighbors
+from ..ml.scalers import zscore
+from .base import (
+    AnomalyDetector,
+    make_detector,
+    register_detector,
+    sliding_windows,
+    window_scores_to_point_scores,
+)
+
+
+@register_detector("SubKNN")
+class SubsequenceKNNDetector(AnomalyDetector):
+    """k-NN distance of each subsequence to the other subsequences.
+
+    The classic distance-based detector: subsequences far from their k-th
+    nearest neighbour are anomalous.  Similar in spirit to Matrix Profile
+    but using the average of k neighbour distances instead of the single
+    nearest non-trivial match.
+    """
+
+    def __init__(self, window: int = 32, n_neighbors: int = 5, max_windows: int = 2000, seed: int = 0) -> None:
+        super().__init__(window)
+        self.n_neighbors = n_neighbors
+        self.max_windows = max_windows
+        self.seed = seed
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64).ravel()
+        window = self.effective_window(series)
+        subs = sliding_windows(series, window)
+        stride = 1
+        if len(subs) > self.max_windows:
+            stride = int(np.ceil(len(subs) / self.max_windows))
+            subs = sliding_windows(series, window, stride=stride)
+        z = np.apply_along_axis(zscore, 1, subs)
+        k = max(1, min(self.n_neighbors, len(z) - 1))
+        dist, _ = kneighbors(z, z, k, exclude_self=True)
+        window_scores = dist.mean(axis=1)
+        return window_scores_to_point_scores(window_scores, len(series), window, stride=stride)
+
+
+@register_detector("SpectralResidual")
+class SpectralResidualDetector(AnomalyDetector):
+    """Spectral-residual saliency detector (Ren et al., KDD 2019 style).
+
+    The log-amplitude spectrum is smoothed; the residual between the
+    spectrum and its smoothed version highlights "surprising" frequencies,
+    and the inverse transform yields a saliency map whose peaks mark
+    anomalies.  Works well for spikes and dips in otherwise regular data.
+    """
+
+    def __init__(self, window: int = 32, smoothing: int = 3, score_smoothing: int = 5) -> None:
+        super().__init__(window)
+        self.smoothing = smoothing
+        self.score_smoothing = score_smoothing
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64).ravel()
+        if len(series) < 4:
+            return np.zeros_like(series)
+        spectrum = np.fft.fft(zscore(series))
+        amplitude = np.abs(spectrum)
+        amplitude[amplitude < 1e-12] = 1e-12
+        log_amplitude = np.log(amplitude)
+        kernel = np.ones(self.smoothing) / self.smoothing
+        smoothed = np.convolve(log_amplitude, kernel, mode="same")
+        residual = log_amplitude - smoothed
+        saliency = np.abs(np.fft.ifft(np.exp(residual + 1j * np.angle(spectrum))))
+        kernel2 = np.ones(self.score_smoothing) / self.score_smoothing
+        return np.convolve(saliency, kernel2, mode="same")
+
+
+def make_extended_model_set(window: int = 32, fast: bool = True) -> Dict[str, AnomalyDetector]:
+    """The default 12-model set plus the two extension detectors."""
+    from .base import make_default_model_set
+
+    model_set = make_default_model_set(window=window, fast=fast)
+    model_set["SubKNN"] = make_detector("SubKNN", window=window)
+    model_set["SpectralResidual"] = make_detector("SpectralResidual", window=window)
+    return model_set

@@ -1,0 +1,132 @@
+"""Isolation Forest detectors (IForest on subsequences, IForest1 on points)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .base import AnomalyDetector, register_detector, sliding_windows, window_scores_to_point_scores
+
+
+class _IsolationTree:
+    """A single isolation tree built on randomly chosen splits."""
+
+    __slots__ = ("split_feature", "split_value", "left", "right", "size")
+
+    def __init__(self) -> None:
+        self.split_feature: int = -1
+        self.split_value: float = 0.0
+        self.left: Optional[_IsolationTree] = None
+        self.right: Optional[_IsolationTree] = None
+        self.size: int = 0
+
+    def fit(self, x: np.ndarray, depth: int, max_depth: int, rng: np.random.Generator) -> "_IsolationTree":
+        self.size = x.shape[0]
+        if depth >= max_depth or x.shape[0] <= 1:
+            return self
+        feature = int(rng.integers(0, x.shape[1]))
+        lo, hi = x[:, feature].min(), x[:, feature].max()
+        if hi - lo < 1e-12:
+            return self
+        value = float(rng.uniform(lo, hi))
+        mask = x[:, feature] < value
+        if mask.all() or (~mask).all():
+            return self
+        self.split_feature = feature
+        self.split_value = value
+        self.left = _IsolationTree().fit(x[mask], depth + 1, max_depth, rng)
+        self.right = _IsolationTree().fit(x[~mask], depth + 1, max_depth, rng)
+        return self
+
+    def path_length(self, x: np.ndarray, depth: int = 0) -> np.ndarray:
+        if self.left is None:
+            return np.full(x.shape[0], depth + _average_path_length(self.size))
+        out = np.empty(x.shape[0])
+        mask = x[:, self.split_feature] < self.split_value
+        if mask.any():
+            out[mask] = self.left.path_length(x[mask], depth + 1)
+        if (~mask).any():
+            out[~mask] = self.right.path_length(x[~mask], depth + 1)
+        return out
+
+
+def _average_path_length(n: int) -> float:
+    """Expected path length of an unsuccessful BST search (Liu et al., 2008)."""
+    if n <= 1:
+        return 0.0
+    if n == 2:
+        return 1.0
+    harmonic = np.log(n - 1) + np.euler_gamma
+    return 2.0 * harmonic - 2.0 * (n - 1) / n
+
+
+class IsolationForest:
+    """Ensemble of isolation trees producing scores in (0, 1)."""
+
+    def __init__(self, n_estimators: int = 50, max_samples: int = 128, seed: int = 0) -> None:
+        self.n_estimators = n_estimators
+        self.max_samples = max_samples
+        self.seed = seed
+        self.trees_: List[_IsolationTree] = []
+        self._sample_size = 0
+
+    def fit(self, x: np.ndarray) -> "IsolationForest":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        rng = np.random.default_rng(self.seed)
+        n = x.shape[0]
+        self._sample_size = min(self.max_samples, n)
+        max_depth = int(np.ceil(np.log2(max(self._sample_size, 2))))
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            idx = rng.choice(n, size=self._sample_size, replace=False)
+            self.trees_.append(_IsolationTree().fit(x[idx], 0, max_depth, rng))
+        return self
+
+    def score_samples(self, x: np.ndarray) -> np.ndarray:
+        """Anomaly score 2^(-E[path]/c(n)); close to 1 means anomalous."""
+        if not self.trees_:
+            raise RuntimeError("IsolationForest must be fitted before scoring")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        paths = np.mean([tree.path_length(x) for tree in self.trees_], axis=0)
+        c = _average_path_length(self._sample_size)
+        return np.power(2.0, -paths / max(c, 1e-12))
+
+
+@register_detector("IForest")
+class IForestDetector(AnomalyDetector):
+    """Isolation forest over sliding-window subsequences."""
+
+    def __init__(self, window: int = 32, n_estimators: int = 40, max_samples: int = 128, seed: int = 0) -> None:
+        super().__init__(window)
+        self.n_estimators = n_estimators
+        self.max_samples = max_samples
+        self.seed = seed
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64).ravel()
+        window = self.effective_window(series)
+        subs = sliding_windows(series, window)
+        forest = IsolationForest(self.n_estimators, self.max_samples, self.seed).fit(subs)
+        window_scores = forest.score_samples(subs)
+        return window_scores_to_point_scores(window_scores, len(series), window)
+
+
+@register_detector("IForest1")
+class IForest1Detector(AnomalyDetector):
+    """Isolation forest where each individual data point is a sample."""
+
+    def __init__(self, window: int = 32, n_estimators: int = 40, max_samples: int = 256, seed: int = 0) -> None:
+        super().__init__(window)
+        self.n_estimators = n_estimators
+        self.max_samples = max_samples
+        self.seed = seed
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64).ravel()
+        forest = IsolationForest(self.n_estimators, self.max_samples, self.seed).fit(series[:, None])
+        return forest.score_samples(series[:, None])

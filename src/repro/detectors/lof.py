@@ -1,0 +1,47 @@
+"""Local Outlier Factor detector on sliding-window subsequences."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.neighbors import kneighbors
+from .base import AnomalyDetector, register_detector, sliding_windows, window_scores_to_point_scores
+
+
+def local_outlier_factor(x: np.ndarray, n_neighbors: int = 20) -> np.ndarray:
+    """Compute the LOF score of each row of ``x`` (Breunig et al., 2000)."""
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    k = max(1, min(n_neighbors, n - 1))
+    dist, idx = kneighbors(x, x, k, exclude_self=True)
+    k_dist = dist[:, -1]  # distance to the k-th neighbour
+
+    # Reachability distance of p w.r.t. o: max(k_dist(o), d(p, o)).
+    reach = np.maximum(k_dist[idx], dist)
+    lrd = 1.0 / np.maximum(reach.mean(axis=1), 1e-12)
+    lof = (lrd[idx].mean(axis=1)) / np.maximum(lrd, 1e-12)
+    return lof
+
+
+@register_detector("LOF")
+class LOFDetector(AnomalyDetector):
+    """LOF over sliding-window subsequences of the series."""
+
+    def __init__(self, window: int = 32, n_neighbors: int = 20, max_windows: int = 2000, seed: int = 0) -> None:
+        super().__init__(window)
+        self.n_neighbors = n_neighbors
+        self.max_windows = max_windows
+        self.seed = seed
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64).ravel()
+        window = self.effective_window(series)
+        subs = sliding_windows(series, window)
+        if len(subs) > self.max_windows:
+            # Stride the windows to bound the O(n^2) distance computation.
+            stride = int(np.ceil(len(subs) / self.max_windows))
+            subs = sliding_windows(series, window, stride=stride)
+        else:
+            stride = 1
+        scores = local_outlier_factor(subs, self.n_neighbors)
+        return window_scores_to_point_scores(scores, len(series), window, stride=stride)

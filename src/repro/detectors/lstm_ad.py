@@ -1,0 +1,98 @@
+"""LSTM forecasting detector: anomalies deviate from the predicted value."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..ml.scalers import zscore
+from .base import AnomalyDetector, register_detector, window_scores_to_point_scores, sliding_windows
+
+
+class _LSTMForecaster(nn.Module):
+    """LSTM that predicts the next value from a context window."""
+
+    def __init__(self, hidden: int = 16) -> None:
+        super().__init__()
+        self.lstm = nn.LSTM(1, hidden)
+        self.head = nn.Linear(hidden, 1)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        # x: (N, T, 1) -> prediction (N,)
+        states = self.lstm(x)
+        last = states[:, -1, :]
+        return self.head(last).reshape(-1)
+
+
+@register_detector("LSTM-AD")
+class LSTMADDetector(AnomalyDetector):
+    """Predict each point from its preceding context with an LSTM.
+
+    The per-point anomaly score is the absolute prediction error.  Training
+    uses a subsample of context windows to keep the detector fast enough for
+    the oracle labelling pass.
+    """
+
+    def __init__(
+        self,
+        window: int = 32,
+        context: int = 16,
+        hidden: int = 16,
+        epochs: int = 3,
+        batch_size: int = 64,
+        lr: float = 1e-2,
+        max_train_windows: int = 256,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(window)
+        self.context = context
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.max_train_windows = max_train_windows
+        self.seed = seed
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64).ravel()
+        norm = zscore(series)
+        context = int(max(4, min(self.context, len(series) // 4)))
+
+        # Build (context -> next value) pairs.
+        blocks = sliding_windows(norm, context + 1)
+        inputs = blocks[:, :context]
+        targets = blocks[:, context]
+
+        rng = np.random.default_rng(self.seed)
+        if len(inputs) > self.max_train_windows:
+            train_idx = rng.choice(len(inputs), size=self.max_train_windows, replace=False)
+        else:
+            train_idx = np.arange(len(inputs))
+
+        nn.init.set_seed(self.seed)
+        model = _LSTMForecaster(hidden=self.hidden)
+        opt = nn.Adam(model.parameters(), lr=self.lr)
+        for _ in range(self.epochs):
+            order = rng.permutation(train_idx)
+            for start in range(0, len(order), self.batch_size):
+                idx = order[start:start + self.batch_size]
+                pred = model(nn.Tensor(inputs[idx][:, :, None]))
+                loss = nn.mse_loss(pred, targets[idx])
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+
+        model.eval()
+        errors = np.zeros(len(inputs))
+        with nn.no_grad():
+            for start in range(0, len(inputs), 512):
+                idx = slice(start, start + 512)
+                pred = model(nn.Tensor(inputs[idx][:, :, None])).numpy()
+                errors[idx] = np.abs(pred - targets[idx])
+
+        # The error of the pair ending at position (context + i) scores that point.
+        scores = np.zeros(len(series))
+        scores[context:context + len(errors)] = errors
+        if context > 0 and len(errors) > 0:
+            scores[:context] = errors[0]
+        return scores

@@ -1,0 +1,47 @@
+"""NORMA-style detector: distance to a clustered normal pattern."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.cluster import KMeans
+from ..ml.scalers import zscore
+from .base import AnomalyDetector, register_detector, sliding_windows, window_scores_to_point_scores
+
+
+@register_detector("NORMA")
+class NormaDetector(AnomalyDetector):
+    """Identify normal patterns by clustering subsequences, score by distance.
+
+    Following the NormA idea, the normal model is a weighted set of cluster
+    centroids (weights proportional to cluster sizes); the anomaly score of a
+    subsequence is its weighted distance to the normal model.
+    """
+
+    def __init__(self, window: int = 32, n_clusters: int = 4, max_windows: int = 1500, seed: int = 0) -> None:
+        super().__init__(window)
+        self.n_clusters = n_clusters
+        self.max_windows = max_windows
+        self.seed = seed
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64).ravel()
+        window = self.effective_window(series)
+        subs = sliding_windows(series, window)
+        z = np.apply_along_axis(zscore, 1, subs)
+
+        # Fit the normal model on a strided sample to keep clustering cheap.
+        if len(z) > self.max_windows:
+            step = int(np.ceil(len(z) / self.max_windows))
+            sample = z[::step]
+        else:
+            sample = z
+        k = max(1, min(self.n_clusters, len(sample)))
+        km = KMeans(n_clusters=k, seed=self.seed).fit(sample)
+        labels, counts = np.unique(km.labels_, return_counts=True)
+        weights = np.zeros(len(km.cluster_centers_))
+        weights[labels] = counts / counts.sum()
+
+        dists = km.transform(z)  # (n_windows, k)
+        window_scores = (dists * weights[None, :]).sum(axis=1)
+        return window_scores_to_point_scores(window_scores, len(series), window)

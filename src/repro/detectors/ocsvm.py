@@ -1,0 +1,44 @@
+"""One-class SVM detector on sliding-window subsequences."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.scalers import zscore
+from ..ml.svm import OneClassSVM
+from .base import AnomalyDetector, register_detector, sliding_windows, window_scores_to_point_scores
+
+
+@register_detector("OCSVM")
+class OCSVMDetector(AnomalyDetector):
+    """Fit the boundary of normal subsequences; score by boundary distance."""
+
+    def __init__(
+        self,
+        window: int = 32,
+        nu: float = 0.1,
+        n_components: int = 96,
+        max_train_windows: int = 768,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(window)
+        self.nu = nu
+        self.n_components = n_components
+        self.max_train_windows = max_train_windows
+        self.seed = seed
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64).ravel()
+        window = self.effective_window(series)
+        subs = sliding_windows(series, window)
+        z = np.apply_along_axis(zscore, 1, subs)
+
+        rng = np.random.default_rng(self.seed)
+        if len(z) > self.max_train_windows:
+            train = z[rng.choice(len(z), size=self.max_train_windows, replace=False)]
+        else:
+            train = z
+
+        model = OneClassSVM(nu=self.nu, n_components=self.n_components, seed=self.seed).fit(train)
+        window_scores = model.score_samples(z)
+        return window_scores_to_point_scores(window_scores, len(series), window)

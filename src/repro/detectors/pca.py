@@ -1,0 +1,30 @@
+"""PCA reconstruction-error detector."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.cluster import PCA
+from .base import AnomalyDetector, register_detector, sliding_windows, window_scores_to_point_scores
+
+
+@register_detector("PCA")
+class PCADetector(AnomalyDetector):
+    """Project subsequences onto a low-dimensional hyperplane.
+
+    Points whose covering subsequences are poorly reconstructed (large
+    distance from the principal hyperplane) are flagged as anomalous.
+    """
+
+    def __init__(self, window: int = 32, n_components: int = 3) -> None:
+        super().__init__(window)
+        self.n_components = n_components
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64).ravel()
+        window = self.effective_window(series)
+        subs = sliding_windows(series, window)
+        k = max(1, min(self.n_components, window - 1, len(subs) - 1))
+        pca = PCA(n_components=k).fit(subs)
+        window_scores = pca.reconstruction_error(subs)
+        return window_scores_to_point_scores(window_scores, len(series), window)

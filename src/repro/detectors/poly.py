@@ -1,0 +1,35 @@
+"""Polynomial-approximation detector (POLY)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AnomalyDetector, register_detector, sliding_windows, window_scores_to_point_scores
+
+
+@register_detector("POLY")
+class PolyDetector(AnomalyDetector):
+    """Fit a low-degree polynomial to each subsequence and score the residual.
+
+    A point covered by subsequences that deviate strongly from their own
+    smooth polynomial approximation is likely to be anomalous (spikes,
+    dropouts, abrupt level shifts).
+    """
+
+    def __init__(self, window: int = 32, degree: int = 3) -> None:
+        super().__init__(window)
+        self.degree = degree
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64).ravel()
+        window = self.effective_window(series)
+        subs = sliding_windows(series, window)
+
+        degree = max(1, min(self.degree, window - 1))
+        t = np.linspace(-1.0, 1.0, window)
+        vandermonde = np.vander(t, degree + 1, increasing=True)  # (window, degree+1)
+        # Projection onto the polynomial space: H = V (V^T V)^-1 V^T.
+        projector = vandermonde @ np.linalg.pinv(vandermonde)
+        residuals = subs - subs @ projector.T
+        window_scores = (residuals ** 2).mean(axis=1)
+        return window_scores_to_point_scores(window_scores, len(series), window)

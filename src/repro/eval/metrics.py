@@ -1,0 +1,139 @@
+"""Anomaly-detection and classification metrics.
+
+The paper's headline metric is AUC-PR of the selected TSAD model, computed
+from the true point labels and the detector's point-wise anomaly scores.
+AUC-ROC, best F1 and precision@k are provided as secondary metrics, plus
+top-k selection accuracy used by the system's validation view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def _validate(labels: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels).astype(int).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if labels.shape != scores.shape:
+        raise ValueError(f"labels and scores must align: {labels.shape} vs {scores.shape}")
+    if len(labels) == 0:
+        raise ValueError("empty inputs")
+    return labels, scores
+
+
+def precision_recall_curve(labels: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision/recall values at every distinct score threshold (descending)."""
+    labels, scores = _validate(labels, scores)
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+
+    tp = np.cumsum(sorted_labels)
+    fp = np.cumsum(1 - sorted_labels)
+    # Keep only the last index of each distinct threshold.
+    distinct = np.where(np.diff(sorted_scores))[0]
+    idx = np.concatenate([distinct, [len(sorted_labels) - 1]])
+
+    tp = tp[idx]
+    fp = fp[idx]
+    total_positive = labels.sum()
+    precision = tp / np.maximum(tp + fp, 1)
+    recall = tp / max(total_positive, 1)
+    thresholds = sorted_scores[idx]
+
+    # Prepend the (recall=0, precision=1) point.
+    precision = np.concatenate([[1.0], precision])
+    recall = np.concatenate([[0.0], recall])
+    return precision, recall, thresholds
+
+
+def auc_pr(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the precision-recall curve (average-precision style).
+
+    Uses the step-wise interpolation of average precision:
+    ``AP = sum_i (R_i - R_{i-1}) * P_i``.  Series without any positive label
+    return 0.0 (the convention used when a test series has no anomaly).
+    """
+    labels, scores = _validate(labels, scores)
+    if labels.sum() == 0:
+        return 0.0
+    precision, recall, _ = precision_recall_curve(labels, scores)
+    return float(np.sum(np.diff(recall) * precision[1:]))
+
+
+def auc_roc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank statistic (handles ties)."""
+    labels, scores = _validate(labels, scores)
+    n_pos = int(labels.sum())
+    n_neg = len(labels) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(scores)
+    ranks = np.empty(len(scores), dtype=np.float64)
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # Average ranks over ties.
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    pos_rank_sum = ranks[labels == 1].sum()
+    return float((pos_rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def best_f1(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Maximum F1 over all score thresholds."""
+    labels, scores = _validate(labels, scores)
+    if labels.sum() == 0:
+        return 0.0
+    precision, recall, _ = precision_recall_curve(labels, scores)
+    f1 = 2 * precision * recall / np.maximum(precision + recall, 1e-12)
+    return float(f1.max())
+
+
+def precision_at_k(labels: np.ndarray, scores: np.ndarray, k: int | None = None) -> float:
+    """Precision among the top-k scored points (k defaults to #positives)."""
+    labels, scores = _validate(labels, scores)
+    n_pos = int(labels.sum())
+    if n_pos == 0:
+        return 0.0
+    k = k or n_pos
+    k = min(k, len(labels))
+    top = np.argsort(-scores)[:k]
+    return float(labels[top].mean())
+
+
+def detection_report(labels: np.ndarray, scores: np.ndarray) -> Dict[str, float]:
+    """All point-wise detection metrics in one dictionary."""
+    return {
+        "auc_pr": auc_pr(labels, scores),
+        "auc_roc": auc_roc(labels, scores),
+        "best_f1": best_f1(labels, scores),
+        "precision_at_k": precision_at_k(labels, scores),
+    }
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Plain classification accuracy."""
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if len(y_true) == 0:
+        return 0.0
+    return float((y_true == y_pred).mean())
+
+
+def top_k_accuracy(y_true: np.ndarray, probabilities: np.ndarray, k: int = 3) -> float:
+    """Fraction of samples whose true class is within the top-k predictions."""
+    y_true = np.asarray(y_true, dtype=int).ravel()
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim != 2 or len(y_true) != len(probabilities):
+        raise ValueError("probabilities must be (n_samples, n_classes) aligned with y_true")
+    k = min(k, probabilities.shape[1])
+    top = np.argsort(-probabilities, axis=1)[:, :k]
+    return float(np.mean([y_true[i] in top[i] for i in range(len(y_true))]))

@@ -1,0 +1,121 @@
+"""Oracle labelling: run every candidate detector on every series.
+
+The performance matrix ``P[i, j] = metric(detector_j on series_i)`` is the
+"historical knowledge" of the paper: its argmax gives the hard label of the
+standard framework, the full row gives the soft-label knowledge used by
+PISL, and it also defines the evaluation target (AUC-PR of the selected
+model).  Because running 12 detectors over many series is the expensive
+step, results are cached on disk keyed by the data and detector settings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.records import TimeSeriesRecord
+from ..detectors.base import AnomalyDetector
+from .metrics import auc_pr, auc_roc, best_f1
+
+METRICS: Dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
+    "auc_pr": auc_pr,
+    "auc_roc": auc_roc,
+    "best_f1": best_f1,
+}
+
+
+def _cache_key(records: Sequence[TimeSeriesRecord], detector_names: Sequence[str], metric: str) -> str:
+    hasher = hashlib.blake2b(digest_size=16)
+    for record in records:
+        hasher.update(record.name.encode())
+        hasher.update(np.ascontiguousarray(record.series[:64]).tobytes())
+        hasher.update(str(record.length).encode())
+    hasher.update("|".join(detector_names).encode())
+    hasher.update(metric.encode())
+    return hasher.hexdigest()
+
+
+class Oracle:
+    """Runs the TSAD model set over series collections and caches the results."""
+
+    def __init__(
+        self,
+        model_set: Dict[str, AnomalyDetector],
+        metric: str = "auc_pr",
+        cache_dir: Optional[str | Path] = None,
+        verbose: bool = False,
+    ) -> None:
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}; available: {sorted(METRICS)}")
+        self.model_set = model_set
+        self.metric = metric
+        self.metric_fn = METRICS[metric]
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.verbose = verbose
+
+    @property
+    def detector_names(self) -> List[str]:
+        return list(self.model_set)
+
+    # ------------------------------------------------------------------ #
+    def score_series(self, record: TimeSeriesRecord) -> np.ndarray:
+        """Performance of every detector on one series (vector of length m)."""
+        row = np.zeros(len(self.model_set))
+        for j, (name, detector) in enumerate(self.model_set.items()):
+            scores = detector.detect(record.series)
+            row[j] = self.metric_fn(record.labels, scores)
+            if self.verbose:
+                print(f"  [{record.name}] {name}: {self.metric}={row[j]:.4f}")
+        return row
+
+    def performance_matrix(self, records: Sequence[TimeSeriesRecord]) -> np.ndarray:
+        """(n_series, n_detectors) matrix, loaded from cache when possible."""
+        cache_path = None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            key = _cache_key(records, self.detector_names, self.metric)
+            cache_path = self.cache_dir / f"oracle_{key}.npz"
+            if cache_path.exists():
+                with np.load(cache_path, allow_pickle=False) as archive:
+                    return archive["performance"]
+
+        matrix = np.zeros((len(records), len(self.model_set)))
+        for i, record in enumerate(records):
+            if self.verbose:
+                print(f"oracle: scoring series {i + 1}/{len(records)} ({record.name})")
+            matrix[i] = self.score_series(record)
+
+        if cache_path is not None:
+            np.savez(cache_path, performance=matrix,
+                     detectors=np.array(self.detector_names, dtype="U32"))
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    def hard_labels(self, performance_matrix: np.ndarray) -> np.ndarray:
+        """Index of the best detector per series (the paper's hard label y_i)."""
+        return np.asarray(performance_matrix, dtype=np.float64).argmax(axis=1)
+
+    def summary(self, performance_matrix: np.ndarray) -> Dict[str, float]:
+        """Aggregate statistics useful for sanity checks and reports."""
+        matrix = np.asarray(performance_matrix, dtype=np.float64)
+        best = matrix.max(axis=1)
+        return {
+            "mean_best": float(best.mean()),
+            "mean_overall": float(matrix.mean()),
+            "n_series": int(matrix.shape[0]),
+            "n_detectors": int(matrix.shape[1]),
+            "winner_entropy": self._winner_entropy(matrix),
+        }
+
+    @staticmethod
+    def _winner_entropy(matrix: np.ndarray) -> float:
+        """Entropy of the winning-detector distribution (higher = more diverse)."""
+        winners = matrix.argmax(axis=1)
+        counts = np.bincount(winners, minlength=matrix.shape[1]).astype(float)
+        p = counts / counts.sum()
+        nonzero = p[p > 0]
+        return float(-(nonzero * np.log(nonzero)).sum())

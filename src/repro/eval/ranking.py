@@ -1,0 +1,130 @@
+"""Statistical comparison of model-selection solutions across datasets.
+
+Fig. 4 of the paper compares ten solutions over 14 datasets.  Beyond the
+raw per-dataset table, the usual way to summarise such a comparison is by
+average ranks, pairwise win/tie/loss counts and bootstrap confidence
+intervals — this module provides those utilities for the benchmark harness
+and for users comparing their own selectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+def _as_matrix(results: Mapping[str, Mapping[str, float]]) -> Tuple[List[str], List[str], np.ndarray]:
+    """Convert {method: {dataset: score}} into (methods, datasets, matrix)."""
+    methods = list(results)
+    datasets = sorted({d for scores in results.values() for d in scores})
+    matrix = np.full((len(methods), len(datasets)), np.nan)
+    for i, method in enumerate(methods):
+        for j, dataset in enumerate(datasets):
+            if dataset in results[method]:
+                matrix[i, j] = results[method][dataset]
+    if np.isnan(matrix).any():
+        raise ValueError("every method must report a score for every dataset")
+    return methods, datasets, matrix
+
+
+def average_ranks(results: Mapping[str, Mapping[str, float]]) -> Dict[str, float]:
+    """Average rank of each method over datasets (rank 1 = best, ties averaged)."""
+    methods, _, matrix = _as_matrix(results)
+    n_methods, n_datasets = matrix.shape
+    ranks = np.zeros_like(matrix)
+    for j in range(n_datasets):
+        column = matrix[:, j]
+        order = np.argsort(-column)
+        column_ranks = np.empty(n_methods)
+        column_ranks[order] = np.arange(1, n_methods + 1)
+        # Average ranks over exact ties.
+        for value in np.unique(column):
+            tied = column == value
+            if tied.sum() > 1:
+                column_ranks[tied] = column_ranks[tied].mean()
+        ranks[:, j] = column_ranks
+    return {method: float(ranks[i].mean()) for i, method in enumerate(methods)}
+
+
+@dataclass(frozen=True)
+class PairwiseRecord:
+    """Win/tie/loss record of ``method_a`` against ``method_b``."""
+
+    method_a: str
+    method_b: str
+    wins: int
+    ties: int
+    losses: int
+
+    @property
+    def win_rate(self) -> float:
+        total = self.wins + self.ties + self.losses
+        return self.wins / total if total else 0.0
+
+
+def pairwise_comparison(
+    results: Mapping[str, Mapping[str, float]],
+    reference: str,
+    tie_margin: float = 1e-9,
+) -> List[PairwiseRecord]:
+    """Win/tie/loss of ``reference`` against every other method, per dataset."""
+    methods, _, matrix = _as_matrix(results)
+    if reference not in methods:
+        raise KeyError(f"unknown reference method {reference!r}")
+    ref_row = matrix[methods.index(reference)]
+    records = []
+    for i, method in enumerate(methods):
+        if method == reference:
+            continue
+        diff = ref_row - matrix[i]
+        wins = int((diff > tie_margin).sum())
+        losses = int((diff < -tie_margin).sum())
+        ties = int(len(diff) - wins - losses)
+        records.append(PairwiseRecord(reference, method, wins, ties, losses))
+    return records
+
+
+def bootstrap_mean_ci(
+    scores: Sequence[float],
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """Bootstrap mean and confidence interval of per-dataset scores."""
+    scores = np.asarray(list(scores), dtype=np.float64)
+    if len(scores) == 0:
+        raise ValueError("scores must be non-empty")
+    rng = np.random.default_rng(seed)
+    resamples = rng.choice(scores, size=(n_resamples, len(scores)), replace=True).mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(resamples, [alpha, 1.0 - alpha])
+    return float(scores.mean()), float(low), float(high)
+
+
+def improvement_significance(
+    scores_a: Mapping[str, float],
+    scores_b: Mapping[str, float],
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Paired bootstrap test of "A beats B" over the shared datasets.
+
+    Returns the mean per-dataset improvement, its bootstrap CI, and the
+    fraction of resamples where the improvement is positive (a one-sided
+    "probability of superiority"-style summary).
+    """
+    shared = sorted(set(scores_a) & set(scores_b))
+    if not shared:
+        raise ValueError("the two score dictionaries share no datasets")
+    diffs = np.array([scores_a[d] - scores_b[d] for d in shared])
+    rng = np.random.default_rng(seed)
+    resamples = rng.choice(diffs, size=(n_resamples, len(diffs)), replace=True).mean(axis=1)
+    return {
+        "mean_improvement": float(diffs.mean()),
+        "ci_low": float(np.quantile(resamples, 0.025)),
+        "ci_high": float(np.quantile(resamples, 0.975)),
+        "p_improvement": float((resamples > 0).mean()),
+        "n_datasets": float(len(shared)),
+    }

@@ -1,0 +1,116 @@
+"""Clustering and decomposition: k-means and PCA."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialisation."""
+
+    def __init__(self, n_clusters: int = 8, n_iter: int = 50, seed: int = 0, tol: float = 1e-6) -> None:
+        self.n_clusters = n_clusters
+        self.n_iter = n_iter
+        self.seed = seed
+        self.tol = tol
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: float = np.inf
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        x = np.asarray(x, dtype=np.float64)
+        n = x.shape[0]
+        k = min(self.n_clusters, n)
+        rng = np.random.default_rng(self.seed)
+        centers = self._kmeanspp(x, k, rng)
+
+        for _ in range(self.n_iter):
+            dists = self._sq_dists(x, centers)
+            labels = dists.argmin(axis=1)
+            new_centers = centers.copy()
+            for j in range(k):
+                members = x[labels == j]
+                if len(members):
+                    new_centers[j] = members.mean(axis=0)
+                else:
+                    new_centers[j] = x[rng.integers(0, n)]
+            shift = float(np.abs(new_centers - centers).max())
+            centers = new_centers
+            if shift < self.tol:
+                break
+
+        dists = self._sq_dists(x, centers)
+        self.labels_ = dists.argmin(axis=1)
+        self.inertia_ = float(dists.min(axis=1).sum())
+        self.cluster_centers_ = centers
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise RuntimeError("KMeans must be fitted before predict")
+        return self._sq_dists(np.asarray(x, dtype=np.float64), self.cluster_centers_).argmin(axis=1)
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Distances (not squared) from each sample to every centroid."""
+        if self.cluster_centers_ is None:
+            raise RuntimeError("KMeans must be fitted before transform")
+        return np.sqrt(self._sq_dists(np.asarray(x, dtype=np.float64), self.cluster_centers_))
+
+    @staticmethod
+    def _sq_dists(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        return ((x[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+
+    @staticmethod
+    def _kmeanspp(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+        n = x.shape[0]
+        centers = [x[rng.integers(0, n)]]
+        for _ in range(1, k):
+            d2 = np.min(((x[:, None, :] - np.asarray(centers)[None, :, :]) ** 2).sum(axis=2), axis=1)
+            total = d2.sum()
+            if total <= 0:
+                centers.append(x[rng.integers(0, n)])
+                continue
+            probs = d2 / total
+            centers.append(x[rng.choice(n, p=probs)])
+        return np.asarray(centers, dtype=np.float64)
+
+
+class PCA:
+    """Principal component analysis via SVD of the centred data matrix."""
+
+    def __init__(self, n_components: int) -> None:
+        self.n_components = n_components
+        self.components_: Optional[np.ndarray] = None
+        self.mean_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "PCA":
+        x = np.asarray(x, dtype=np.float64)
+        self.mean_ = x.mean(axis=0)
+        centred = x - self.mean_
+        _, s, vt = np.linalg.svd(centred, full_matrices=False)
+        k = min(self.n_components, vt.shape[0])
+        self.components_ = vt[:k]
+        var = s ** 2
+        self.explained_variance_ratio_ = var[:k] / max(var.sum(), 1e-12)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("PCA must be fitted before transform")
+        return (np.asarray(x, dtype=np.float64) - self.mean_) @ self.components_.T
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("PCA must be fitted before inverse_transform")
+        return np.asarray(z, dtype=np.float64) @ self.components_ + self.mean_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def reconstruction_error(self, x: np.ndarray) -> np.ndarray:
+        """Per-sample squared reconstruction error (anomaly signal)."""
+        recon = self.inverse_transform(self.transform(x))
+        return ((np.asarray(x, dtype=np.float64) - recon) ** 2).mean(axis=1)

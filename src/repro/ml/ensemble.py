@@ -1,0 +1,128 @@
+"""Ensemble classifiers: random forest and AdaBoost (SAMME)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .tree import DecisionStump, DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bagged CART trees with per-split feature sub-sampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int = 8,
+        max_features: str | int = "sqrt",
+        min_samples_leaf: int = 1,
+        seed: int = 0,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self.estimators_: List[DecisionTreeClassifier] = []
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=int)
+        self.classes_ = np.unique(y)
+        rng = np.random.default_rng(self.seed)
+        n = len(y)
+        self.estimators_ = []
+        for i in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                max_features=self.max_features,
+                min_samples_leaf=self.min_samples_leaf,
+                seed=self.seed * 1000 + i,
+            )
+            tree.fit(x[idx], y[idx])
+            self.estimators_.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if not self.estimators_:
+            raise RuntimeError("forest must be fitted before predict")
+        n_classes = len(self.classes_)
+        agg = np.zeros((np.asarray(x).shape[0], n_classes))
+        for tree in self.estimators_:
+            proba = tree.predict_proba(x)
+            # Trees may have seen a subset of classes in their bootstrap sample.
+            cols = np.searchsorted(self.classes_, tree.classes_)
+            agg[:, cols] += proba
+        agg /= len(self.estimators_)
+        agg /= np.maximum(agg.sum(axis=1, keepdims=True), 1e-12)
+        return agg
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.classes_[self.predict_proba(x).argmax(axis=1)]
+
+
+class AdaBoostClassifier:
+    """Multi-class AdaBoost (SAMME) over decision stumps."""
+
+    def __init__(self, n_estimators: int = 50, learning_rate: float = 1.0, seed: int = 0) -> None:
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.estimators_: List[DecisionStump] = []
+        self.estimator_weights_: List[float] = []
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "AdaBoostClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=int)
+        self.classes_ = np.unique(y)
+        n_classes = len(self.classes_)
+        n = len(y)
+        weights = np.full(n, 1.0 / n)
+        self.estimators_ = []
+        self.estimator_weights_ = []
+
+        for i in range(self.n_estimators):
+            stump = DecisionStump(seed=self.seed * 1000 + i)
+            stump.fit(x, y, sample_weight=weights)
+            pred = stump.predict(x)
+            miss = pred != y
+            err = float(np.clip((weights * miss).sum() / weights.sum(), 1e-10, 1.0 - 1e-10))
+            if err >= 1.0 - 1.0 / n_classes:
+                # Weak learner is no better than chance; stop boosting.
+                if not self.estimators_:
+                    self.estimators_.append(stump)
+                    self.estimator_weights_.append(1.0)
+                break
+            alpha = self.learning_rate * (np.log((1.0 - err) / err) + np.log(n_classes - 1.0))
+            weights *= np.exp(alpha * miss)
+            weights /= weights.sum()
+            self.estimators_.append(stump)
+            self.estimator_weights_.append(float(alpha))
+            if err < 1e-8:
+                break
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if not self.estimators_:
+            raise RuntimeError("ensemble must be fitted before predict")
+        n_classes = len(self.classes_)
+        scores = np.zeros((np.asarray(x).shape[0], n_classes))
+        for stump, alpha in zip(self.estimators_, self.estimator_weights_):
+            pred = stump.predict(x)
+            cols = np.searchsorted(self.classes_, pred)
+            scores[np.arange(len(pred)), cols] += alpha
+        return scores
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(x)
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.classes_[self.decision_function(x).argmax(axis=1)]

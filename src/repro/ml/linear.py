@@ -1,0 +1,117 @@
+"""Linear models: ridge regression/classification and logistic regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RidgeRegression:
+    """Closed-form ridge regression ``w = (X^T X + alpha I)^-1 X^T y``."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if self.fit_intercept:
+            x_mean = x.mean(axis=0)
+            y_mean = y.mean(axis=0)
+            xc = x - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(x.shape[1])
+            y_mean = 0.0
+            xc, yc = x, y
+        gram = xc.T @ xc + self.alpha * np.eye(x.shape[1])
+        self.coef_ = np.linalg.solve(gram, xc.T @ yc)
+        self.intercept_ = y_mean - x_mean @ self.coef_
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model must be fitted before predict")
+        return np.asarray(x, dtype=np.float64) @ self.coef_ + self.intercept_
+
+
+class RidgeClassifier:
+    """Ridge regression on one-hot targets; argmax of the scores classifies.
+
+    This is the classifier MiniRocket/Rocket pair with in the paper's
+    kernel-based baseline.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = alpha
+        self._ridge = RidgeRegression(alpha=alpha)
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeClassifier":
+        y = np.asarray(y, dtype=int)
+        self.classes_ = np.unique(y)
+        targets = np.full((len(y), len(self.classes_)), -1.0)
+        for col, cls in enumerate(self.classes_):
+            targets[y == cls, col] = 1.0
+        self._ridge.fit(x, targets)
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        return self._ridge.predict(x)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(x)
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("model must be fitted before predict")
+        return self.classes_[self.decision_function(x).argmax(axis=1)]
+
+
+class LogisticRegression:
+    """Multinomial logistic regression trained with full-batch gradient descent."""
+
+    def __init__(self, lr: float = 0.1, n_iter: int = 300, l2: float = 1e-4) -> None:
+        self.lr = lr
+        self.n_iter = n_iter
+        self.l2 = l2
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=int)
+        self.classes_ = np.unique(y)
+        n_classes = len(self.classes_)
+        col = {c: i for i, c in enumerate(self.classes_)}
+        targets = np.zeros((len(y), n_classes))
+        targets[np.arange(len(y)), [col[v] for v in y]] = 1.0
+
+        self.coef_ = np.zeros((x.shape[1], n_classes))
+        self.intercept_ = np.zeros(n_classes)
+        for _ in range(self.n_iter):
+            probs = self._softmax(x @ self.coef_ + self.intercept_)
+            grad_logits = (probs - targets) / len(y)
+            self.coef_ -= self.lr * (x.T @ grad_logits + self.l2 * self.coef_)
+            self.intercept_ -= self.lr * grad_logits.sum(axis=0)
+        return self
+
+    @staticmethod
+    def _softmax(z: np.ndarray) -> np.ndarray:
+        z = z - z.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model must be fitted before predict")
+        return self._softmax(np.asarray(x, dtype=np.float64) @ self.coef_ + self.intercept_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.classes_[self.predict_proba(x).argmax(axis=1)]

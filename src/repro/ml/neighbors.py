@@ -1,0 +1,82 @@
+"""Nearest-neighbour algorithms (scikit-learn replacements)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def pairwise_sq_euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances between rows of ``a`` and ``b``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    a_sq = (a ** 2).sum(axis=1)[:, None]
+    b_sq = (b ** 2).sum(axis=1)[None, :]
+    d = a_sq + b_sq - 2.0 * a @ b.T
+    np.maximum(d, 0.0, out=d)
+    return d
+
+
+def kneighbors(
+    query: np.ndarray,
+    reference: np.ndarray,
+    k: int,
+    exclude_self: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (distances, indices) of the ``k`` nearest reference rows.
+
+    ``exclude_self`` skips the zero-distance self match when ``query`` is the
+    same matrix as ``reference`` (used by LOF and KNN-style detectors).
+    """
+    d = pairwise_sq_euclidean(query, reference)
+    if exclude_self:
+        np.fill_diagonal(d, np.inf)
+    k = min(k, d.shape[1] - (1 if exclude_self else 0))
+    k = max(k, 1)
+    idx = np.argpartition(d, kth=k - 1, axis=1)[:, :k]
+    part = np.take_along_axis(d, idx, axis=1)
+    order = np.argsort(part, axis=1)
+    idx = np.take_along_axis(idx, order, axis=1)
+    dist = np.sqrt(np.take_along_axis(part, order, axis=1))
+    return dist, idx
+
+
+class KNeighborsClassifier:
+    """K-nearest-neighbour classifier with distance-weighted voting."""
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        self._x = np.asarray(x, dtype=np.float64)
+        self._y = np.asarray(y, dtype=int)
+        self.classes_ = np.unique(self._y)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("classifier must be fitted before predict")
+        dist, idx = kneighbors(np.asarray(x, dtype=np.float64), self._x, self.n_neighbors)
+        labels = self._y[idx]
+        if self.weights == "distance":
+            w = 1.0 / (dist + 1e-9)
+        else:
+            w = np.ones_like(dist)
+        n_classes = len(self.classes_)
+        proba = np.zeros((x.shape[0], n_classes))
+        class_to_col = {c: i for i, c in enumerate(self.classes_)}
+        for col, cls in enumerate(self.classes_):
+            proba[:, col] = np.where(labels == cls, w, 0.0).sum(axis=1)
+        proba /= np.maximum(proba.sum(axis=1, keepdims=True), 1e-12)
+        return proba
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(x)
+        return self.classes_[proba.argmax(axis=1)]

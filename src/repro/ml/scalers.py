@@ -1,0 +1,60 @@
+"""Feature scaling utilities (scikit-learn replacements)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Standardise features to zero mean and unit variance."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=np.float64)
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        return (np.asarray(x, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+
+class MinMaxScaler:
+    """Scale features to the [0, 1] range."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        x = np.asarray(x, dtype=np.float64)
+        self.min_ = x.min(axis=0)
+        rng = x.max(axis=0) - self.min_
+        self.range_ = np.where(rng > 1e-12, rng, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler must be fitted before transform")
+        return (np.asarray(x, dtype=np.float64) - self.min_) / self.range_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+
+def zscore(series: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Z-normalise a 1-D series (constant series map to zeros)."""
+    series = np.asarray(series, dtype=np.float64)
+    std = series.std()
+    if std < eps:
+        return np.zeros_like(series)
+    return (series - series.mean()) / std

@@ -1,0 +1,139 @@
+"""Support-vector machines trained in the primal.
+
+``LinearSVC`` replaces scikit-learn's SVC baseline (one-vs-rest hinge loss,
+Pegasos-style SGD).  ``OneClassSVM`` backs the OCSVM anomaly detector: it
+uses random Fourier features to approximate an RBF kernel and optimises the
+standard one-class objective in the primal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LinearSVC:
+    """One-vs-rest linear SVM trained with Pegasos SGD."""
+
+    def __init__(self, c: float = 1.0, n_iter: int = 40, seed: int = 0) -> None:
+        self.c = c
+        self.n_iter = n_iter
+        self.seed = seed
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearSVC":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=int)
+        self.classes_ = np.unique(y)
+        n_samples, n_features = x.shape
+        n_classes = len(self.classes_)
+        self.coef_ = np.zeros((n_classes, n_features))
+        self.intercept_ = np.zeros(n_classes)
+        lam = 1.0 / (self.c * n_samples)
+        rng = np.random.default_rng(self.seed)
+
+        for col, cls in enumerate(self.classes_):
+            sign = np.where(y == cls, 1.0, -1.0)
+            w = np.zeros(n_features)
+            b = 0.0
+            t = 0
+            for _ in range(self.n_iter):
+                order = rng.permutation(n_samples)
+                for i in order:
+                    t += 1
+                    eta = 1.0 / (lam * t)
+                    margin = sign[i] * (x[i] @ w + b)
+                    w *= (1.0 - eta * lam)
+                    if margin < 1.0:
+                        w += eta * sign[i] * x[i]
+                        b += eta * sign[i]
+            self.coef_[col] = w
+            self.intercept_[col] = b
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model must be fitted before predict")
+        return np.asarray(x, dtype=np.float64) @ self.coef_.T + self.intercept_
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(x)
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.classes_[self.decision_function(x).argmax(axis=1)]
+
+
+class OneClassSVM:
+    """One-class SVM on random Fourier features (RBF kernel approximation).
+
+    The decision function is ``w . phi(x) - rho``; negative values are
+    anomalous.  :meth:`score_samples` returns ``rho - w . phi(x)`` so that
+    larger values mean more anomalous, matching the detector convention.
+    """
+
+    def __init__(
+        self,
+        nu: float = 0.1,
+        gamma: float | str = "scale",
+        n_components: int = 128,
+        n_iter: int = 30,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < nu <= 1.0:
+            raise ValueError("nu must be in (0, 1]")
+        self.nu = nu
+        self.gamma = gamma
+        self.n_components = n_components
+        self.n_iter = n_iter
+        self.seed = seed
+        self._w: np.ndarray | None = None
+        self._rho: float = 0.0
+        self._omega: np.ndarray | None = None
+        self._phase: np.ndarray | None = None
+
+    def _features(self, x: np.ndarray) -> np.ndarray:
+        proj = x @ self._omega + self._phase
+        return np.sqrt(2.0 / self.n_components) * np.cos(proj)
+
+    def fit(self, x: np.ndarray) -> "OneClassSVM":
+        x = np.asarray(x, dtype=np.float64)
+        n_samples, n_features = x.shape
+        rng = np.random.default_rng(self.seed)
+
+        if self.gamma == "scale":
+            var = x.var()
+            gamma = 1.0 / (n_features * var) if var > 1e-12 else 1.0 / n_features
+        else:
+            gamma = float(self.gamma)
+        self._omega = rng.normal(0.0, np.sqrt(2.0 * gamma), size=(n_features, self.n_components))
+        self._phase = rng.uniform(0.0, 2.0 * np.pi, size=self.n_components)
+
+        phi = self._features(x)
+        w = phi.mean(axis=0).copy()
+        rho = 0.0
+        lr = 0.1
+        for _ in range(self.n_iter):
+            scores = phi @ w - rho
+            violating = scores < 0
+            # Sub-gradient of: 0.5 ||w||^2 - rho + (1 / (nu n)) sum max(0, rho - w.phi)
+            grad_w = w - (phi[violating].sum(axis=0) / (self.nu * n_samples))
+            grad_rho = -1.0 + violating.sum() / (self.nu * n_samples)
+            w -= lr * grad_w
+            rho -= lr * grad_rho
+        self._w = w
+        self._rho = rho
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self._w is None:
+            raise RuntimeError("model must be fitted before scoring")
+        phi = self._features(np.asarray(x, dtype=np.float64))
+        return phi @ self._w - self._rho
+
+    def score_samples(self, x: np.ndarray) -> np.ndarray:
+        """Anomaly scores: larger means more anomalous."""
+        return -self.decision_function(x)

@@ -1,0 +1,153 @@
+"""CART decision trees (classification), used by the forest and boosting ensembles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    proba: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeClassifier:
+    """Gini-impurity CART classifier.
+
+    Supports sample weights (needed by AdaBoost) and random feature
+    sub-sampling at each split (needed by the random forest).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int | str] = None,
+        n_thresholds: int = 16,
+        seed: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.n_thresholds = n_thresholds
+        self.seed = seed
+        self._root: Optional[_Node] = None
+        self.classes_: Optional[np.ndarray] = None
+        self.n_classes_: int = 0
+
+    # ------------------------------------------------------------------ #
+    def fit(self, x: np.ndarray, y: np.ndarray, sample_weight: Optional[np.ndarray] = None) -> "DecisionTreeClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=int)
+        self.classes_ = np.unique(y)
+        self.n_classes_ = len(self.classes_)
+        y_idx = np.searchsorted(self.classes_, y)
+        if sample_weight is None:
+            sample_weight = np.ones(len(y))
+        sample_weight = np.asarray(sample_weight, dtype=np.float64)
+        self._rng = np.random.default_rng(self.seed)
+        self._root = self._grow(x, y_idx, sample_weight, depth=0)
+        return self
+
+    def _n_features_to_try(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(n_features)))
+        return min(int(self.max_features), n_features)
+
+    def _leaf(self, y_idx: np.ndarray, weight: np.ndarray) -> _Node:
+        proba = np.bincount(y_idx, weights=weight, minlength=self.n_classes_)
+        total = proba.sum()
+        proba = proba / total if total > 0 else np.full(self.n_classes_, 1.0 / self.n_classes_)
+        return _Node(proba=proba)
+
+    def _grow(self, x: np.ndarray, y_idx: np.ndarray, weight: np.ndarray, depth: int) -> _Node:
+        if (
+            depth >= self.max_depth
+            or len(y_idx) < self.min_samples_split
+            or len(np.unique(y_idx)) == 1
+        ):
+            return self._leaf(y_idx, weight)
+
+        n_features = x.shape[1]
+        feature_pool = self._rng.permutation(n_features)[: self._n_features_to_try(n_features)]
+        best = None  # (gini, feature, threshold, mask)
+        for feature in feature_pool:
+            column = x[:, feature]
+            values = np.unique(column)
+            if len(values) < 2:
+                continue
+            if len(values) > self.n_thresholds:
+                quantiles = np.linspace(0, 1, self.n_thresholds + 2)[1:-1]
+                thresholds = np.unique(np.quantile(column, quantiles))
+            else:
+                thresholds = (values[:-1] + values[1:]) / 2.0
+            for threshold in thresholds:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if n_left < self.min_samples_leaf or (len(mask) - n_left) < self.min_samples_leaf:
+                    continue
+                gini = self._weighted_gini(y_idx, weight, mask)
+                if best is None or gini < best[0]:
+                    best = (gini, feature, threshold, mask)
+
+        if best is None:
+            return self._leaf(y_idx, weight)
+
+        _, feature, threshold, mask = best
+        node = _Node(feature=int(feature), threshold=float(threshold))
+        node.left = self._grow(x[mask], y_idx[mask], weight[mask], depth + 1)
+        node.right = self._grow(x[~mask], y_idx[~mask], weight[~mask], depth + 1)
+        node.proba = self._leaf(y_idx, weight).proba
+        return node
+
+    def _weighted_gini(self, y_idx: np.ndarray, weight: np.ndarray, mask: np.ndarray) -> float:
+        total = weight.sum()
+        gini = 0.0
+        for side_mask in (mask, ~mask):
+            w = weight[side_mask]
+            side_total = w.sum()
+            if side_total <= 0:
+                continue
+            counts = np.bincount(y_idx[side_mask], weights=w, minlength=self.n_classes_)
+            p = counts / side_total
+            gini += (side_total / total) * (1.0 - (p ** 2).sum())
+        return gini
+
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree must be fitted before predict")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.zeros((x.shape[0], self.n_classes_))
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.proba
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.classes_[self.predict_proba(x).argmax(axis=1)]
+
+
+class DecisionStump(DecisionTreeClassifier):
+    """Depth-1 tree; the weak learner used by AdaBoost."""
+
+    def __init__(self, n_thresholds: int = 16, seed: int = 0) -> None:
+        super().__init__(max_depth=1, n_thresholds=n_thresholds, seed=seed)

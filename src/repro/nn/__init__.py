@@ -1,0 +1,58 @@
+"""``repro.nn`` — a NumPy autodiff neural-network substrate.
+
+This package replaces PyTorch for the KDSelector reproduction.  It provides
+reverse-mode automatic differentiation (:mod:`repro.nn.tensor`), standard
+layers (:mod:`repro.nn.layers`), losses used by the selector-learning
+framework (:mod:`repro.nn.losses`) and optimizers (:mod:`repro.nn.optim`).
+"""
+
+from .tensor import Tensor, no_grad, concatenate, stack, where
+from .module import Module, ModuleList, Parameter, Sequential
+from .layers import (
+    BatchNorm1d,
+    Conv1d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    GlobalAvgPool1d,
+    GlobalMaxPool1d,
+    LayerNorm,
+    Linear,
+    LSTM,
+    LSTMCell,
+    MaxPool1d,
+    MultiHeadSelfAttention,
+    PositionalEncoding,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    TransformerEncoderLayer,
+)
+from .losses import (
+    CrossEntropyLoss,
+    InfoNCELoss,
+    MSELoss,
+    SoftCrossEntropyLoss,
+    cross_entropy,
+    info_nce,
+    mse_loss,
+    soft_cross_entropy,
+)
+from .optim import SGD, Adam, AdamW, CosineAnnealingLR, LRScheduler, Optimizer, StepLR
+from .serialization import load_state, save_state
+from . import functional
+from . import init
+
+__all__ = [
+    "Tensor", "no_grad", "concatenate", "stack", "where",
+    "Module", "ModuleList", "Parameter", "Sequential",
+    "BatchNorm1d", "Conv1d", "Dropout", "Embedding", "Flatten", "GELU",
+    "GlobalAvgPool1d", "GlobalMaxPool1d", "LayerNorm", "Linear", "LSTM",
+    "LSTMCell", "MaxPool1d", "MultiHeadSelfAttention", "PositionalEncoding",
+    "ReLU", "Sigmoid", "Tanh", "TransformerEncoderLayer",
+    "CrossEntropyLoss", "InfoNCELoss", "MSELoss", "SoftCrossEntropyLoss",
+    "cross_entropy", "info_nce", "mse_loss", "soft_cross_entropy",
+    "SGD", "Adam", "AdamW", "CosineAnnealingLR", "LRScheduler", "Optimizer", "StepLR",
+    "load_state", "save_state", "functional", "init",
+]

@@ -1,0 +1,60 @@
+"""Weight initialisation helpers for the NumPy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_default_rng = np.random.default_rng(0)
+
+
+def set_seed(seed: int) -> None:
+    """Reset the module-level RNG used for parameter initialisation."""
+    global _default_rng
+    _default_rng = np.random.default_rng(seed)
+
+
+def get_rng() -> np.random.Generator:
+    """Return the RNG used for parameter initialisation."""
+    return _default_rng
+
+
+def xavier_uniform(shape, gain: float = 1.0, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Glorot / Xavier uniform initialisation."""
+    rng = rng or _default_rng
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator | None = None) -> np.ndarray:
+    """He / Kaiming uniform initialisation (ReLU gain)."""
+    rng = rng or _default_rng
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(shape, std: float = 0.02, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Gaussian initialisation with the given standard deviation."""
+    rng = rng or _default_rng
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)
+
+
+def _fans(shape) -> tuple[int, int]:
+    shape = tuple(shape)
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    # Convolution weights: (C_out, C_in, K)
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

@@ -1,0 +1,38 @@
+"""Persistence of module state dicts to ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from .module import Module
+
+PathLike = Union[str, Path]
+
+
+def save_state(module: Module, path: PathLike, metadata: Optional[Dict[str, Any]] = None) -> Path:
+    """Save a module's parameters and buffers (plus JSON metadata) to disk."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    payload = dict(state)
+    payload["__metadata__"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_state(module: Module, path: PathLike) -> Dict[str, Any]:
+    """Load parameters into ``module`` and return the stored metadata."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        metadata_bytes = archive["__metadata__"].tobytes() if "__metadata__" in archive else b"{}"
+        state = {key: archive[key] for key in archive.files if key != "__metadata__"}
+    module.load_state_dict(state)
+    return json.loads(metadata_bytes.decode("utf-8"))

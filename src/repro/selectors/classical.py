@@ -1,0 +1,156 @@
+"""Non-NN selector baselines: classical classifiers on extracted features.
+
+These correspond to the "feature-based methods" of the paper's Fig. 4
+(TSFresh features + KNN / SVC / AdaBoost / RandomForest) plus a few extra
+classical selectors that round out the 15-selector zoo of the demo system.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.windows import SelectorDataset
+from ..ml import (
+    AdaBoostClassifier,
+    DecisionTreeClassifier,
+    KNeighborsClassifier,
+    LinearSVC,
+    LogisticRegression,
+    RandomForestClassifier,
+    RidgeClassifier,
+    StandardScaler,
+)
+from .base import Selector, register_selector
+from .features import extract_features
+
+
+class FeatureSelector(Selector):
+    """Template: extract statistical features, scale them, fit a classifier."""
+
+    def __init__(self, n_classes: int = 12, seed: int = 0, **clf_kwargs) -> None:
+        self.n_classes = n_classes
+        self.seed = seed
+        self.clf_kwargs = clf_kwargs
+        self.scaler = StandardScaler()
+        self.classifier = None
+        self.classes_seen_: Optional[np.ndarray] = None
+
+    def _make_classifier(self):
+        raise NotImplementedError
+
+    def fit(self, dataset: SelectorDataset, **kwargs) -> "FeatureSelector":
+        del kwargs
+        self.n_classes = dataset.n_classes
+        features = self.scaler.fit_transform(extract_features(dataset.windows))
+        self.classifier = self._make_classifier()
+        self.classifier.fit(features, dataset.hard_labels)
+        self.classes_seen_ = np.asarray(self.classifier.classes_, dtype=int)
+        return self
+
+    def predict_proba(self, windows: np.ndarray) -> np.ndarray:
+        if self.classifier is None:
+            raise RuntimeError("selector must be fitted before predict")
+        features = self.scaler.transform(extract_features(windows))
+        partial = self.classifier.predict_proba(features)
+        proba = np.zeros((len(windows), self.n_classes))
+        proba[:, self.classes_seen_] = partial
+        return proba
+
+
+@register_selector("KNN")
+class KNNSelector(FeatureSelector):
+    """TSFresh-style features + K nearest neighbours."""
+
+    def _make_classifier(self):
+        return KNeighborsClassifier(n_neighbors=self.clf_kwargs.get("n_neighbors", 5), weights="distance")
+
+
+@register_selector("SVC")
+class SVCSelector(FeatureSelector):
+    """TSFresh-style features + linear support vector classifier."""
+
+    def _make_classifier(self):
+        return LinearSVC(c=self.clf_kwargs.get("c", 1.0), n_iter=self.clf_kwargs.get("n_iter", 20), seed=self.seed)
+
+
+@register_selector("AdaBoost")
+class AdaBoostSelector(FeatureSelector):
+    """TSFresh-style features + AdaBoost over decision stumps."""
+
+    def _make_classifier(self):
+        return AdaBoostClassifier(n_estimators=self.clf_kwargs.get("n_estimators", 40), seed=self.seed)
+
+
+@register_selector("RandomForest")
+class RandomForestSelector(FeatureSelector):
+    """TSFresh-style features + random forest."""
+
+    def _make_classifier(self):
+        return RandomForestClassifier(
+            n_estimators=self.clf_kwargs.get("n_estimators", 30),
+            max_depth=self.clf_kwargs.get("max_depth", 8),
+            seed=self.seed,
+        )
+
+
+@register_selector("LogisticRegression")
+class LogisticRegressionSelector(FeatureSelector):
+    """TSFresh-style features + multinomial logistic regression."""
+
+    def _make_classifier(self):
+        return LogisticRegression(
+            lr=self.clf_kwargs.get("lr", 0.1),
+            n_iter=self.clf_kwargs.get("n_iter", 200),
+        )
+
+
+@register_selector("DecisionTree")
+class DecisionTreeSelector(FeatureSelector):
+    """TSFresh-style features + a single CART tree."""
+
+    def _make_classifier(self):
+        return DecisionTreeClassifier(max_depth=self.clf_kwargs.get("max_depth", 10), seed=self.seed)
+
+
+@register_selector("Ridge")
+class RidgeSelector(FeatureSelector):
+    """TSFresh-style features + ridge classifier."""
+
+    def _make_classifier(self):
+        return RidgeClassifier(alpha=self.clf_kwargs.get("alpha", 1.0))
+
+
+@register_selector("NN1Euclidean")
+class NearestNeighborRawSelector(Selector):
+    """1-NN on the raw (z-normalised) windows with Euclidean distance."""
+
+    def __init__(self, n_classes: int = 12, n_neighbors: int = 1, max_references: int = 2000, seed: int = 0) -> None:
+        self.n_classes = n_classes
+        self.n_neighbors = n_neighbors
+        self.max_references = max_references
+        self.seed = seed
+        self.classifier: Optional[KNeighborsClassifier] = None
+        self.classes_seen_: Optional[np.ndarray] = None
+
+    def fit(self, dataset: SelectorDataset, **kwargs) -> "NearestNeighborRawSelector":
+        del kwargs
+        self.n_classes = dataset.n_classes
+        windows = dataset.windows
+        labels = dataset.hard_labels
+        if len(windows) > self.max_references:
+            rng = np.random.default_rng(self.seed)
+            keep = rng.choice(len(windows), size=self.max_references, replace=False)
+            windows, labels = windows[keep], labels[keep]
+        self.classifier = KNeighborsClassifier(n_neighbors=self.n_neighbors).fit(windows, labels)
+        self.classes_seen_ = np.asarray(self.classifier.classes_, dtype=int)
+        return self
+
+    def predict_proba(self, windows: np.ndarray) -> np.ndarray:
+        if self.classifier is None:
+            raise RuntimeError("selector must be fitted before predict")
+        partial = self.classifier.predict_proba(np.asarray(windows, dtype=np.float64))
+        proba = np.zeros((len(windows), self.n_classes))
+        proba[:, self.classes_seen_] = partial
+        return proba

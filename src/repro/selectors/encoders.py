@@ -1,0 +1,207 @@
+"""Time-series encoders ``E_T`` used by the NN-based selectors.
+
+Each encoder maps a batch of windows (N, L) to a feature matrix (N, D) and
+exposes its output dimensionality as ``feature_dim`` so that the linear
+classifier ``C_T`` and the MKI projection ``h_T`` can be sized correctly.
+The architectures follow the baselines of Sylligardos et al. (2023) that
+the paper evaluates: ConvNet, ResNet, InceptionTime and a Transformer with
+a convolutional stem (SiT-stem).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+
+
+class _ConvBlock(nn.Module):
+    """Conv1d + BatchNorm + ReLU."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int) -> None:
+        super().__init__()
+        self.conv = nn.Conv1d(in_channels, out_channels, kernel_size, padding=kernel_size // 2)
+        self.bn = nn.BatchNorm1d(out_channels)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.bn(self.conv(x)).relu()
+
+
+class ConvNetEncoder(nn.Module):
+    """Plain three-block convolutional encoder with global average pooling."""
+
+    def __init__(self, in_channels: int = 1, mid_channels: int = 32, num_layers: int = 3) -> None:
+        super().__init__()
+        blocks = []
+        channels = in_channels
+        for i in range(num_layers):
+            out_channels = mid_channels * (2 ** min(i, 1))
+            blocks.append(_ConvBlock(channels, out_channels, kernel_size=7 if i == 0 else 5))
+            channels = out_channels
+        self.blocks = nn.Sequential(*blocks)
+        self.feature_dim = channels
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        h = self.blocks(x)
+        return h.mean(axis=2)
+
+
+class _ResidualBlock(nn.Module):
+    """Three convolutions with a (projected) shortcut, as in TSC ResNet."""
+
+    def __init__(self, in_channels: int, out_channels: int) -> None:
+        super().__init__()
+        self.conv1 = _ConvBlock(in_channels, out_channels, kernel_size=7)
+        self.conv2 = _ConvBlock(out_channels, out_channels, kernel_size=5)
+        self.conv3 = nn.Conv1d(out_channels, out_channels, kernel_size=3, padding=1)
+        self.bn3 = nn.BatchNorm1d(out_channels)
+        self.shortcut = (
+            nn.Conv1d(in_channels, out_channels, kernel_size=1)
+            if in_channels != out_channels else None
+        )
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        h = self.conv1(x)
+        h = self.conv2(h)
+        h = self.bn3(self.conv3(h))
+        residual = self.shortcut(x) if self.shortcut is not None else x
+        return (h + residual).relu()
+
+
+class ResNetEncoder(nn.Module):
+    """ResNet encoder: stacked residual blocks + global average pooling.
+
+    This is the paper's default selector architecture.
+    """
+
+    def __init__(self, in_channels: int = 1, mid_channels: int = 32, num_layers: int = 3) -> None:
+        super().__init__()
+        blocks = []
+        channels = in_channels
+        for i in range(num_layers):
+            out_channels = mid_channels if i == 0 else mid_channels * 2
+            blocks.append(_ResidualBlock(channels, out_channels))
+            channels = out_channels
+        self.blocks = nn.Sequential(*blocks)
+        self.feature_dim = channels
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.blocks(x).mean(axis=2)
+
+
+class _InceptionModule(nn.Module):
+    """Parallel convolutions with different kernel sizes plus a bottleneck."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_sizes=(9, 5, 3)) -> None:
+        super().__init__()
+        branch_channels = max(out_channels // (len(kernel_sizes) + 1), 4)
+        self.bottleneck = nn.Conv1d(in_channels, branch_channels, kernel_size=1) if in_channels > 1 else None
+        source_channels = branch_channels if self.bottleneck is not None else in_channels
+        self.branches = nn.ModuleList([
+            nn.Conv1d(source_channels, branch_channels, k, padding=k // 2) for k in kernel_sizes
+        ])
+        self.pool_conv = nn.Conv1d(in_channels, branch_channels, kernel_size=1)
+        self.bn = nn.BatchNorm1d(branch_channels * (len(kernel_sizes) + 1))
+        self.out_channels = branch_channels * (len(kernel_sizes) + 1)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        source = self.bottleneck(x) if self.bottleneck is not None else x
+        outputs = [branch(source) for branch in self.branches]
+        outputs.append(self.pool_conv(x))
+        merged = nn.concatenate(outputs, axis=1)
+        return self.bn(merged).relu()
+
+
+class InceptionTimeEncoder(nn.Module):
+    """InceptionTime-style encoder: stacked inception modules with a residual link."""
+
+    def __init__(self, in_channels: int = 1, mid_channels: int = 32, num_layers: int = 3) -> None:
+        super().__init__()
+        modules = []
+        channels = in_channels
+        for _ in range(num_layers):
+            module = _InceptionModule(channels, mid_channels * 2)
+            modules.append(module)
+            channels = module.out_channels
+        self.modules_list = nn.ModuleList(modules)
+        self.residual_proj = nn.Conv1d(in_channels, channels, kernel_size=1)
+        self.feature_dim = channels
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        h = x
+        for module in self.modules_list:
+            h = module(h)
+        h = (h + self.residual_proj(x)).relu()
+        return h.mean(axis=2)
+
+
+class TransformerEncoder(nn.Module):
+    """Transformer selector encoder with a convolutional stem (SiT-stem).
+
+    The stem downsamples the window into a short token sequence; standard
+    pre-norm transformer blocks then model token interactions, and the
+    feature is the mean over tokens.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        embed_dim: int = 48,
+        num_layers: int = 2,
+        num_heads: int = 4,
+        patch_stride: int = 8,
+        dropout: float = 0.1,
+        seed: Optional[int] = 0,
+    ) -> None:
+        super().__init__()
+        self.stem = nn.Conv1d(in_channels, embed_dim, kernel_size=patch_stride, stride=patch_stride)
+        self.positional = nn.PositionalEncoding(embed_dim)
+        self.blocks = nn.Sequential(*[
+            nn.TransformerEncoderLayer(embed_dim, num_heads, dropout=dropout,
+                                       seed=None if seed is None else seed + i)
+            for i in range(num_layers)
+        ])
+        self.norm = nn.LayerNorm(embed_dim)
+        self.feature_dim = embed_dim
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        tokens = self.stem(x)                 # (N, D, T')
+        tokens = tokens.swapaxes(1, 2)        # (N, T', D)
+        tokens = self.positional(tokens)
+        tokens = self.blocks(tokens)
+        tokens = self.norm(tokens)
+        return tokens.mean(axis=1)
+
+
+class MLPEncoder(nn.Module):
+    """Simple MLP encoder over the flattened window."""
+
+    def __init__(self, window: int, hidden: int = 128, feature_dim: int = 64) -> None:
+        super().__init__()
+        self.fc1 = nn.Linear(window, hidden)
+        self.fc2 = nn.Linear(hidden, feature_dim)
+        self.feature_dim = feature_dim
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        flat = x.reshape(x.shape[0], x.shape[1] * x.shape[2])
+        return self.fc2(self.fc1(flat).relu()).relu()
+
+
+class LSTMEncoder(nn.Module):
+    """LSTM encoder over a downsampled window (last hidden state)."""
+
+    def __init__(self, hidden: int = 48, downsample: int = 4) -> None:
+        super().__init__()
+        self.downsample = downsample
+        self.lstm = nn.LSTM(1, hidden)
+        self.feature_dim = hidden
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        # x: (N, 1, L) -> downsample the sequence to keep the loop short.
+        data = x.numpy()[:, 0, :]
+        data = data[:, :: self.downsample]
+        seq = nn.Tensor(data[:, :, None], requires_grad=False)
+        states = self.lstm(seq)
+        return states[:, -1, :]

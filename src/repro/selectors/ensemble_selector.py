@@ -1,0 +1,79 @@
+"""A voting ensemble of selectors.
+
+Not part of the paper's baseline list, but a natural extension of the
+selector zoo: several fitted selectors vote (with optional weights) on the
+TSAD model to use.  Useful when no single selector family dominates and as
+an upper-bound reference for the individual selectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.windows import SelectorDataset
+from .base import Selector
+
+
+class SelectorEnsemble(Selector):
+    """Probability-averaging ensemble over a list of member selectors.
+
+    Deliberately not added to the selector registry: it is composed of
+    already-constructed members rather than built from a name, so the demo
+    system's 15-selector zoo stays as the paper describes it.
+    """
+
+    name = "SelectorEnsemble"
+
+    def __init__(self, members: Optional[Sequence[Selector]] = None,
+                 weights: Optional[Sequence[float]] = None) -> None:
+        self.members: List[Selector] = list(members or [])
+        if weights is not None and len(weights) != len(self.members):
+            raise ValueError("weights must match the number of members")
+        self.weights = list(weights) if weights is not None else None
+        self.n_classes: int = 0
+
+    def add(self, selector: Selector, weight: float = 1.0) -> "SelectorEnsemble":
+        """Add a member (before fitting)."""
+        self.members.append(selector)
+        if self.weights is None:
+            self.weights = [1.0] * (len(self.members) - 1)
+        self.weights.append(weight)
+        return self
+
+    def fit(self, dataset: SelectorDataset, **kwargs) -> "SelectorEnsemble":
+        if not self.members:
+            raise RuntimeError("SelectorEnsemble has no members to fit")
+        self.n_classes = dataset.n_classes
+        for member in self.members:
+            member.fit(dataset, **kwargs)
+        return self
+
+    def predict_proba(self, windows: np.ndarray) -> np.ndarray:
+        if not self.members:
+            raise RuntimeError("SelectorEnsemble has no members")
+        weights = self.weights or [1.0] * len(self.members)
+        total = np.zeros((len(windows), self.n_classes or self.members[0].predict_proba(windows).shape[1]))
+        weight_sum = 0.0
+        for member, weight in zip(self.members, weights):
+            proba = member.predict_proba(windows)
+            if total.shape[1] == 0:
+                total = np.zeros_like(proba)
+            total += weight * proba
+            weight_sum += weight
+        return total / max(weight_sum, 1e-12)
+
+    def member_agreements(self, windows: np.ndarray) -> Dict[int, float]:
+        """Fraction of windows on which each pair of members agrees."""
+        predictions = [member.predict(windows) for member in self.members]
+        agreements: Dict[int, float] = {}
+        pair = 0
+        for i in range(len(predictions)):
+            for j in range(i + 1, len(predictions)):
+                agreements[pair] = float((predictions[i] == predictions[j]).mean())
+                pair += 1
+        return agreements
+
+    def __repr__(self) -> str:
+        return f"SelectorEnsemble(members={[m.__class__.__name__ for m in self.members]})"

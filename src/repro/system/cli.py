@@ -1,0 +1,270 @@
+"""Command-line interface to the TSAD model-selection system.
+
+Exposes the demo system's workflow as sub-commands so that the pipeline can
+be driven without writing Python:
+
+* ``generate-data`` — synthesise benchmark series to CSV files.
+* ``label``         — run the detector oracle over a directory of series and
+  store the performance matrix.
+* ``train``         — train a selector (optionally with PISL / MKI / PA) on
+  labelled historical data and save it to a selector store.
+* ``evaluate``      — evaluate a stored selector on labelled series.
+* ``select``        — predict the best TSAD model for one series.
+* ``detect``        — select a model and run it, printing the metrics.
+* ``list-selectors`` — show the contents of a selector store.
+
+Run ``python -m repro.system.cli --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import MKIConfig, PISLConfig, PruningConfig, TrainerConfig
+from ..data import generate_series
+from ..data.loaders import load_series_directory, load_series_file, save_series_file
+from ..data.records import DATASET_NAMES
+from ..data.windows import build_selector_dataset, extract_windows
+from ..detectors import make_default_model_set
+from ..eval import Oracle, evaluate_selection
+from ..selectors import make_selector, selector_names
+from ..selectors.nn_selector import NNSelector
+from .anomaly_detection import run_detection
+from .reporting import format_table
+from .selector_store import SelectorStore
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="kdselector",
+        description="TSAD model selection with the KDSelector learning framework",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate-data", help="synthesise benchmark series to CSV files")
+    gen.add_argument("output_dir", type=Path)
+    gen.add_argument("--datasets", nargs="*", default=DATASET_NAMES, choices=DATASET_NAMES,
+                     metavar="DATASET")
+    gen.add_argument("--per-dataset", type=int, default=2)
+    gen.add_argument("--length", type=int, default=1000)
+    gen.add_argument("--seed", type=int, default=0)
+
+    label = sub.add_parser("label", help="run the detector oracle over labelled series")
+    label.add_argument("data_dir", type=Path)
+    label.add_argument("output", type=Path, help="where to write the performance matrix (.npz)")
+    label.add_argument("--detector-window", type=int, default=24)
+    label.add_argument("--metric", default="auc_pr", choices=["auc_pr", "auc_roc", "best_f1"])
+    label.add_argument("--cache-dir", type=Path, default=None)
+
+    train = sub.add_parser("train", help="train a selector on labelled historical data")
+    train.add_argument("data_dir", type=Path)
+    train.add_argument("performance", type=Path, help=".npz produced by the label command")
+    train.add_argument("--selector", default="ResNet", choices=selector_names())
+    train.add_argument("--store", type=Path, default=Path("selector_store"))
+    train.add_argument("--name", default=None, help="name inside the store (default: selector type)")
+    train.add_argument("--window", type=int, default=96)
+    train.add_argument("--stride", type=int, default=48)
+    train.add_argument("--epochs", type=int, default=8)
+    train.add_argument("--batch-size", type=int, default=64)
+    train.add_argument("--lr", type=float, default=1e-3)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--pisl", action="store_true", help="enable performance-informed soft labels")
+    train.add_argument("--alpha", type=float, default=0.4)
+    train.add_argument("--t-soft", type=float, default=0.25)
+    train.add_argument("--mki", action="store_true", help="enable meta-knowledge integration")
+    train.add_argument("--mki-weight", type=float, default=0.78)
+    train.add_argument("--projection-dim", type=int, default=64)
+    train.add_argument("--pruning", default="none", choices=["none", "infobatch", "pa"])
+    train.add_argument("--pruning-ratio", type=float, default=0.8)
+    train.add_argument("--lsh-bits", type=int, default=14)
+    train.add_argument("--bins", type=int, default=8)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a stored selector on labelled series")
+    evaluate.add_argument("data_dir", type=Path)
+    evaluate.add_argument("performance", type=Path)
+    evaluate.add_argument("--store", type=Path, default=Path("selector_store"))
+    evaluate.add_argument("--name", required=True)
+    evaluate.add_argument("--window", type=int, default=96)
+
+    select = sub.add_parser("select", help="predict the best TSAD model for one series")
+    select.add_argument("series_file", type=Path)
+    select.add_argument("--store", type=Path, default=Path("selector_store"))
+    select.add_argument("--name", required=True)
+    select.add_argument("--window", type=int, default=96)
+    select.add_argument("--detector-window", type=int, default=24)
+
+    detect = sub.add_parser("detect", help="select a model, run it and print metrics")
+    detect.add_argument("series_file", type=Path)
+    detect.add_argument("--store", type=Path, default=Path("selector_store"))
+    detect.add_argument("--name", required=True)
+    detect.add_argument("--window", type=int, default=96)
+    detect.add_argument("--detector-window", type=int, default=24)
+    detect.add_argument("--scores-output", type=Path, default=None,
+                        help="optional CSV to write the point-wise anomaly scores to")
+
+    list_cmd = sub.add_parser("list-selectors", help="show the contents of a selector store")
+    list_cmd.add_argument("--store", type=Path, default=Path("selector_store"))
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# command implementations
+# --------------------------------------------------------------------------- #
+def _cmd_generate_data(args: argparse.Namespace) -> int:
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    count = 0
+    for dataset in args.datasets:
+        for index in range(args.per_dataset):
+            record = generate_series(dataset, index, args.length, args.seed)
+            save_series_file(record, args.output_dir / f"{record.name}.csv")
+            count += 1
+    print(f"wrote {count} series to {args.output_dir}")
+    return 0
+
+
+def _detector_names_path(performance_path: Path) -> Path:
+    return performance_path.with_suffix(".detectors.json")
+
+
+def _cmd_label(args: argparse.Namespace) -> int:
+    records = load_series_directory(args.data_dir)
+    model_set = make_default_model_set(window=args.detector_window, fast=True)
+    oracle = Oracle(model_set, metric=args.metric, cache_dir=args.cache_dir, verbose=True)
+    matrix = oracle.performance_matrix(records)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(args.output, performance=matrix, names=np.array([r.name for r in records], dtype="U64"))
+    _detector_names_path(args.output).write_text(json.dumps(oracle.detector_names))
+    print(f"labelled {len(records)} series with {len(model_set)} detectors -> {args.output}")
+    best = matrix.max(axis=1).mean()
+    print(f"mean best-{args.metric}: {best:.4f}")
+    return 0
+
+
+def _load_labelled(data_dir: Path, performance_path: Path):
+    records = load_series_directory(data_dir)
+    with np.load(performance_path.with_suffix(".npz") if performance_path.suffix != ".npz"
+                 else performance_path, allow_pickle=False) as archive:
+        matrix = archive["performance"]
+        names = [str(n) for n in archive["names"]]
+    by_name = {record.name: record for record in records}
+    missing = [name for name in names if name not in by_name]
+    if missing:
+        raise SystemExit(f"series missing from {data_dir}: {missing[:5]} ...")
+    ordered = [by_name[name] for name in names]
+    detector_names = json.loads(_detector_names_path(performance_path).read_text())
+    return ordered, matrix, detector_names
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    records, matrix, detector_names = _load_labelled(args.data_dir, args.performance)
+    dataset = build_selector_dataset(records, matrix, detector_names,
+                                     window=args.window, stride=args.stride, seed=args.seed)
+    selector = make_selector(args.selector, n_classes=dataset.n_classes, seed=args.seed,
+                             **({"window": args.window} if args.selector in
+                                ("ConvNet", "ResNet", "InceptionTime", "Transformer", "MLP", "LSTMSelector")
+                                else {}))
+
+    if isinstance(selector, NNSelector):
+        config = TrainerConfig(
+            epochs=args.epochs, batch_size=args.batch_size, lr=args.lr, seed=args.seed,
+            pisl=PISLConfig(enabled=args.pisl, alpha=args.alpha, t_soft=args.t_soft),
+            mki=MKIConfig(enabled=args.mki, weight=args.mki_weight, projection_dim=args.projection_dim),
+            pruning=PruningConfig(method=args.pruning, ratio=args.pruning_ratio,
+                                  lsh_bits=args.lsh_bits, n_bins=args.bins),
+            verbose=True,
+        )
+        selector.fit(dataset, config=config)
+        summary = selector.last_report_.summary()
+    else:
+        selector.fit(dataset)
+        summary = {"selector": args.selector}
+
+    store = SelectorStore(args.store)
+    name = args.name or args.selector
+    store.save(name, selector, metadata={"window": args.window, **{k: str(v) for k, v in summary.items()}},
+               overwrite=True)
+    print(f"saved selector {name!r} to {args.store}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    records, matrix, detector_names = _load_labelled(args.data_dir, args.performance)
+    selector = SelectorStore(args.store).load(args.name)
+    evaluation = evaluate_selection(selector, records, matrix, detector_names, window=args.window)
+    rows = sorted(evaluation.per_dataset_score.items())
+    print(format_table(["Dataset", "AUC-PR of selected model"], rows))
+    print(f"average: {evaluation.average_score:.4f}  "
+          f"selection accuracy: {evaluation.selection_accuracy:.4f}")
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    record = load_series_file(args.series_file)
+    selector = SelectorStore(args.store).load(args.name)
+    detector_names = list(make_default_model_set(window=args.detector_window, fast=True))
+    windows = extract_windows(record.series, args.window, stride=args.window)
+    proba = selector.predict_proba(windows)
+    votes = np.bincount(proba.argmax(axis=1), minlength=len(detector_names)).astype(float)
+    votes /= votes.sum()
+    choice = int(votes.argmax())
+    print(f"selected model for {record.name}: {detector_names[choice]}")
+    rows = sorted(zip(detector_names, votes), key=lambda kv: -kv[1])
+    print(format_table(["Model", "Vote share"], rows))
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    record = load_series_file(args.series_file)
+    selector = SelectorStore(args.store).load(args.name)
+    model_set = make_default_model_set(window=args.detector_window, fast=True)
+    detector_names = list(model_set)
+    windows = extract_windows(record.series, args.window, stride=args.window)
+    choice = int(np.bincount(selector.predict(windows), minlength=len(detector_names)).argmax())
+    chosen = detector_names[choice]
+    result = run_detection(record, model_set[chosen], detector_name=chosen)
+    print(f"selected model: {chosen}")
+    print(format_table(["metric", "value"], sorted(result.metrics.items())))
+    if args.scores_output is not None:
+        args.scores_output.parent.mkdir(parents=True, exist_ok=True)
+        np.savetxt(args.scores_output, result.scores, delimiter=",", header="anomaly_score")
+        print(f"wrote scores to {args.scores_output}")
+    return 0
+
+
+def _cmd_list_selectors(args: argparse.Namespace) -> int:
+    store = SelectorStore(args.store)
+    infos = store.list()
+    if not infos:
+        print(f"no selectors stored in {args.store}")
+        return 0
+    rows = [[info.name, info.selector_type, "NN" if info.is_neural else "non-NN", info.created_at]
+            for info in infos]
+    print(format_table(["Name", "Type", "Kind", "Created"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "generate-data": _cmd_generate_data,
+    "label": _cmd_label,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "select": _cmd_select,
+    "detect": _cmd_detect,
+    "list-selectors": _cmd_list_selectors,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

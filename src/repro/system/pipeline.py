@@ -1,0 +1,160 @@
+"""End-to-end TSAD model selection pipeline.
+
+Wires the system components of Fig. 1 together: historical data → oracle
+labelling (Selector Learning's training knowledge) → windowed selector
+dataset → selector learning (optionally with KDSelector modules) → model
+selection for new series → anomaly detection with the selected model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.config import TrainerConfig
+from ..data.records import TimeSeriesRecord
+from ..data.windows import SelectorDataset, build_selector_dataset, extract_windows
+from ..detectors.base import AnomalyDetector, make_default_model_set
+from ..eval.evaluation import SelectionEvaluation, evaluate_selection, predict_for_series
+from ..eval.oracle import Oracle
+from ..selectors.base import Selector, make_selector
+from ..selectors.nn_selector import NNSelector
+from .anomaly_detection import DetectionResult, run_detection
+
+
+@dataclass
+class PipelineConfig:
+    """Scale and protocol knobs of the end-to-end pipeline."""
+
+    window: int = 64
+    stride: Optional[int] = 32
+    detector_window: int = 24
+    metric: str = "auc_pr"
+    max_windows_per_series: Optional[int] = None
+    cache_dir: Optional[Union[str, Path]] = None
+    seed: int = 0
+
+
+class ModelSelectionPipeline:
+    """Train selectors on historical data and apply them to new series."""
+
+    def __init__(
+        self,
+        model_set: Optional[Dict[str, AnomalyDetector]] = None,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.model_set = model_set or make_default_model_set(window=self.config.detector_window, fast=True)
+        self.oracle = Oracle(self.model_set, metric=self.config.metric, cache_dir=self.config.cache_dir)
+        self.selector: Optional[Selector] = None
+        self.train_dataset: Optional[SelectorDataset] = None
+
+    # ------------------------------------------------------------------ #
+    # historical data preparation
+    # ------------------------------------------------------------------ #
+    @property
+    def detector_names(self) -> List[str]:
+        return self.oracle.detector_names
+
+    def label_history(self, records: Sequence[TimeSeriesRecord]) -> np.ndarray:
+        """Run the oracle over historical series (cached when possible)."""
+        return self.oracle.performance_matrix(records)
+
+    def prepare_training_data(
+        self,
+        records: Sequence[TimeSeriesRecord],
+        performance_matrix: Optional[np.ndarray] = None,
+    ) -> SelectorDataset:
+        """Build (and remember) the windowed selector training dataset."""
+        if performance_matrix is None:
+            performance_matrix = self.label_history(records)
+        self.train_dataset = build_selector_dataset(
+            records,
+            performance_matrix,
+            self.detector_names,
+            window=self.config.window,
+            stride=self.config.stride,
+            max_windows_per_series=self.config.max_windows_per_series,
+            seed=self.config.seed,
+        )
+        return self.train_dataset
+
+    # ------------------------------------------------------------------ #
+    # selector learning
+    # ------------------------------------------------------------------ #
+    def train_selector(
+        self,
+        selector: Union[str, Selector],
+        dataset: Optional[SelectorDataset] = None,
+        trainer_config: Optional[TrainerConfig] = None,
+        **selector_kwargs,
+    ) -> Selector:
+        """Train (and remember) a selector on the prepared dataset.
+
+        ``selector`` may be a registry name or an already constructed
+        instance.  ``trainer_config`` is forwarded to NN selectors to enable
+        the KDSelector modules; non-NN selectors ignore it.
+        """
+        dataset = dataset or self.train_dataset
+        if dataset is None:
+            raise RuntimeError("call prepare_training_data() first or pass a dataset")
+        if isinstance(selector, str):
+            selector_kwargs.setdefault("n_classes", dataset.n_classes)
+            if selector in ("ConvNet", "ResNet", "InceptionTime", "Transformer", "MLP", "LSTMSelector"):
+                selector_kwargs.setdefault("window", dataset.windows.shape[1])
+            selector = make_selector(selector, **selector_kwargs)
+
+        if isinstance(selector, NNSelector):
+            selector.fit(dataset, config=trainer_config)
+        else:
+            selector.fit(dataset)
+        self.selector = selector
+        return selector
+
+    # ------------------------------------------------------------------ #
+    # model selection & anomaly detection
+    # ------------------------------------------------------------------ #
+    def select_model(self, record: TimeSeriesRecord, aggregation: str = "vote") -> Dict[str, object]:
+        """Predict the best TSAD model for one series (with vote breakdown)."""
+        if self.selector is None:
+            raise RuntimeError("no trained selector; call train_selector() first")
+        choice, votes = predict_for_series(self.selector, record, self.config.window, aggregation)
+        return {
+            "selected_index": choice,
+            "selected_model": self.detector_names[choice],
+            "votes": {name: float(votes[i]) for i, name in enumerate(self.detector_names)},
+        }
+
+    def detect(self, record: TimeSeriesRecord, aggregation: str = "vote") -> DetectionResult:
+        """Select a model for the series and run it (steps 2 + 3 of the demo)."""
+        selection = self.select_model(record, aggregation)
+        detector = self.model_set[selection["selected_model"]]
+        return run_detection(record, detector, detector_name=selection["selected_model"])
+
+    def evaluate(
+        self,
+        records: Sequence[TimeSeriesRecord],
+        performance_matrix: Optional[np.ndarray] = None,
+        aggregation: str = "vote",
+    ) -> SelectionEvaluation:
+        """Evaluate the trained selector over labelled test series."""
+        if self.selector is None:
+            raise RuntimeError("no trained selector; call train_selector() first")
+        if performance_matrix is None:
+            performance_matrix = self.oracle.performance_matrix(records)
+        return evaluate_selection(
+            self.selector,
+            records,
+            performance_matrix,
+            self.detector_names,
+            window=self.config.window,
+            aggregation=aggregation,
+        )
+
+    # ------------------------------------------------------------------ #
+    def windows_for(self, record: TimeSeriesRecord) -> np.ndarray:
+        """The selector-input windows of one series (for inspection / UI)."""
+        return extract_windows(record.series, self.config.window, stride=self.config.window)

@@ -1,0 +1,68 @@
+"""Plain-text reporting helpers used by the examples and the benchmark harness.
+
+The benchmarks print the same rows the paper's tables report; these helpers
+format them consistently (fixed-width ASCII and Markdown)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 float_format: str = "{:.4f}") -> str:
+    """Render a fixed-width ASCII table."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    str_rows = [[render(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "  ".join("-" * w for w in widths)
+    out = [line(list(headers)), separator]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                          float_format: str = "{:.4f}") -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(render(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def per_dataset_table(results: Dict[str, Dict[str, float]], datasets: Optional[List[str]] = None,
+                      include_average: bool = True) -> str:
+    """Format {method: {dataset: score}} as a dataset-by-method table.
+
+    This is the layout of the paper's Tables 6-9: one row per dataset, one
+    column per method, plus an average row.
+    """
+    methods = list(results)
+    if datasets is None:
+        datasets = sorted({d for scores in results.values() for d in scores})
+    rows = []
+    for dataset in datasets:
+        rows.append([dataset] + [results[m].get(dataset, float("nan")) for m in methods])
+    if include_average:
+        averages = []
+        for method in methods:
+            values = [results[method][d] for d in datasets if d in results[method]]
+            averages.append(sum(values) / len(values) if values else float("nan"))
+        rows.append(["Average"] + averages)
+    return format_table(["Dataset"] + methods, rows)

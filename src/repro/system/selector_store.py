@@ -1,0 +1,149 @@
+"""Selector management: save, list, load and delete trained selectors.
+
+Mirrors the "Selector Management" component of the demo system: users train
+selectors, persist them under a name, and later reload them for model
+selection without re-training.  NN selectors are stored as architecture
+metadata plus a parameter archive; non-NN selectors are pickled.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import shutil
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .. import nn
+from ..selectors.base import Selector, make_selector
+from ..selectors.nn_selector import NNSelector
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class StoredSelectorInfo:
+    """Manifest entry describing one stored selector."""
+
+    name: str
+    selector_type: str
+    is_neural: bool
+    created_at: str
+    metadata: Dict[str, object]
+
+
+class SelectorStore:
+    """A small on-disk registry of trained selectors."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def _entry_dir(self, name: str) -> Path:
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid selector name {name!r}")
+        return self.root / name
+
+    def save(self, name: str, selector: Selector, metadata: Optional[Dict[str, object]] = None,
+             overwrite: bool = False) -> StoredSelectorInfo:
+        """Persist a trained selector under ``name``."""
+        entry = self._entry_dir(name)
+        if entry.exists():
+            if not overwrite:
+                raise FileExistsError(f"selector {name!r} already exists (pass overwrite=True to replace)")
+            shutil.rmtree(entry)
+        entry.mkdir(parents=True)
+
+        info = StoredSelectorInfo(
+            name=name,
+            selector_type=selector.name,
+            is_neural=isinstance(selector, NNSelector),
+            created_at=datetime.now(timezone.utc).isoformat(),
+            metadata=dict(metadata or {}),
+        )
+
+        if isinstance(selector, NNSelector):
+            selector.build()
+            arch = {
+                "window": selector.window,
+                "n_classes": selector.n_classes,
+                "seed": selector.seed,
+                "arch_kwargs": selector.arch_kwargs,
+            }
+            (entry / "architecture.json").write_text(json.dumps(arch, indent=2))
+            nn.save_state(selector.encoder, entry / "encoder.npz")
+            nn.save_state(selector.classifier, entry / "classifier.npz")
+        else:
+            with open(entry / "model.pkl", "wb") as handle:
+                pickle.dump(selector, handle)
+
+        (entry / "manifest.json").write_text(json.dumps({
+            "name": info.name,
+            "selector_type": info.selector_type,
+            "is_neural": info.is_neural,
+            "created_at": info.created_at,
+            "metadata": info.metadata,
+        }, indent=2))
+        return info
+
+    # ------------------------------------------------------------------ #
+    def load(self, name: str) -> Selector:
+        """Reconstruct a stored selector."""
+        entry = self._entry_dir(name)
+        manifest = self.info(name)
+
+        if manifest.is_neural:
+            arch = json.loads((entry / "architecture.json").read_text())
+            selector = make_selector(
+                manifest.selector_type,
+                window=arch["window"],
+                n_classes=arch["n_classes"],
+                seed=arch["seed"],
+                **arch["arch_kwargs"],
+            )
+            assert isinstance(selector, NNSelector)
+            selector.build()
+            nn.load_state(selector.encoder, entry / "encoder.npz")
+            nn.load_state(selector.classifier, entry / "classifier.npz")
+            return selector
+
+        with open(entry / "model.pkl", "rb") as handle:
+            return pickle.load(handle)
+
+    def info(self, name: str) -> StoredSelectorInfo:
+        entry = self._entry_dir(name)
+        manifest_path = entry / "manifest.json"
+        if not manifest_path.exists():
+            raise KeyError(f"no stored selector named {name!r}")
+        data = json.loads(manifest_path.read_text())
+        return StoredSelectorInfo(
+            name=data["name"],
+            selector_type=data["selector_type"],
+            is_neural=data["is_neural"],
+            created_at=data["created_at"],
+            metadata=data.get("metadata", {}),
+        )
+
+    def list(self) -> List[StoredSelectorInfo]:
+        """All stored selectors, newest first."""
+        infos = []
+        for entry in self.root.iterdir():
+            if entry.is_dir() and (entry / "manifest.json").exists():
+                infos.append(self.info(entry.name))
+        return sorted(infos, key=lambda info: info.created_at, reverse=True)
+
+    def delete(self, name: str) -> None:
+        entry = self._entry_dir(name)
+        if not entry.exists():
+            raise KeyError(f"no stored selector named {name!r}")
+        shutil.rmtree(entry)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.info(name)
+            return True
+        except (KeyError, ValueError):
+            return False

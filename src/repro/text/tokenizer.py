@@ -1,0 +1,40 @@
+"""A small, deterministic word-piece style tokenizer.
+
+The MKI module only needs a stable mapping from metadata strings to token
+sequences; this tokenizer lower-cases, splits on non-alphanumeric
+characters, keeps numbers as distinct tokens and optionally emits character
+n-grams for sub-word robustness.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_RE = re.compile(r"[a-z]+|\d+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lower-case word/number tokenization."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def char_ngrams(token: str, n_min: int = 3, n_max: int = 4) -> List[str]:
+    """Character n-grams of a token, with boundary markers (fastText style)."""
+    marked = f"<{token}>"
+    grams: List[str] = []
+    for n in range(n_min, n_max + 1):
+        if len(marked) < n:
+            continue
+        grams.extend(marked[i:i + n] for i in range(len(marked) - n + 1))
+    return grams
+
+
+def tokenize_with_subwords(text: str, n_min: int = 3, n_max: int = 4) -> List[str]:
+    """Tokens plus their character n-grams; numbers are kept whole."""
+    out: List[str] = []
+    for token in tokenize(text):
+        out.append(token)
+        if not token.isdigit():
+            out.extend(char_ngrams(token, n_min, n_max))
+    return out

@@ -1,0 +1,137 @@
+"""Tests for the command-line interface (repro.system.cli).
+
+The CLI workflow is exercised end to end on a tiny dataset: generate-data →
+label → train → evaluate / select / detect / list-selectors.  To keep the
+oracle step fast, the detector window is small and only a few short series
+are generated.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.system.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def cli_workspace(tmp_path_factory):
+    """Run generate-data + label once and share the artefacts across tests."""
+    root = tmp_path_factory.mktemp("cli")
+    data_dir = root / "data"
+    perf_path = root / "perf.npz"
+
+    assert main([
+        "generate-data", str(data_dir),
+        "--datasets", "ECG", "IOPS", "SMD",
+        "--per-dataset", "1", "--length", "400", "--seed", "3",
+    ]) == 0
+
+    assert main([
+        "label", str(data_dir), str(perf_path),
+        "--detector-window", "16",
+    ]) == 0
+
+    return {"root": root, "data_dir": data_dir, "perf_path": perf_path}
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "data", "perf.npz"])
+        assert args.selector == "ResNet"
+        assert args.pruning == "none"
+        assert not args.pisl and not args.mki
+
+    def test_invalid_selector_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "data", "perf.npz", "--selector", "NotASelector"])
+
+
+class TestGenerateAndLabel:
+    def test_generate_data_writes_csv(self, cli_workspace):
+        files = list(cli_workspace["data_dir"].glob("*.csv"))
+        assert len(files) == 3
+
+    def test_label_outputs_matrix_and_names(self, cli_workspace):
+        perf_path = cli_workspace["perf_path"]
+        with np.load(perf_path, allow_pickle=False) as archive:
+            matrix = archive["performance"]
+            names = archive["names"]
+        assert matrix.shape == (3, 12)
+        assert len(names) == 3
+        detectors = json.loads(perf_path.with_suffix(".detectors.json").read_text())
+        assert len(detectors) == 12
+
+
+class TestTrainEvaluateDetect:
+    @pytest.fixture(scope="class")
+    def trained_store(self, cli_workspace):
+        store = cli_workspace["root"] / "store"
+        assert main([
+            "train", str(cli_workspace["data_dir"]), str(cli_workspace["perf_path"]),
+            "--selector", "MLP", "--store", str(store), "--name", "mlp",
+            "--window", "64", "--stride", "32", "--epochs", "1", "--batch-size", "32",
+            "--pisl", "--pruning", "infobatch",
+        ]) == 0
+        return store
+
+    def test_train_persists_selector(self, trained_store):
+        assert (trained_store / "mlp" / "manifest.json").exists()
+
+    def test_train_non_nn_selector(self, cli_workspace):
+        store = cli_workspace["root"] / "store_knn"
+        assert main([
+            "train", str(cli_workspace["data_dir"]), str(cli_workspace["perf_path"]),
+            "--selector", "KNN", "--store", str(store), "--window", "64", "--stride", "32",
+        ]) == 0
+        assert (store / "KNN" / "manifest.json").exists()
+
+    def test_evaluate(self, cli_workspace, trained_store, capsys):
+        assert main([
+            "evaluate", str(cli_workspace["data_dir"]), str(cli_workspace["perf_path"]),
+            "--store", str(trained_store), "--name", "mlp", "--window", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "average:" in out
+        assert "selection accuracy" in out
+
+    def test_select(self, cli_workspace, trained_store, capsys):
+        series_file = sorted(cli_workspace["data_dir"].glob("*.csv"))[0]
+        assert main([
+            "select", str(series_file),
+            "--store", str(trained_store), "--name", "mlp", "--window", "64",
+            "--detector-window", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "selected model" in out
+        assert "Vote share" in out
+
+    def test_detect_writes_scores(self, cli_workspace, trained_store, capsys):
+        series_file = sorted(cli_workspace["data_dir"].glob("*.csv"))[0]
+        scores_out = cli_workspace["root"] / "scores.csv"
+        assert main([
+            "detect", str(series_file),
+            "--store", str(trained_store), "--name", "mlp", "--window", "64",
+            "--detector-window", "16", "--scores-output", str(scores_out),
+        ]) == 0
+        assert scores_out.exists()
+        scores = np.loadtxt(scores_out, delimiter=",", skiprows=1)
+        assert len(scores) == 400
+        assert "auc_pr" in capsys.readouterr().out
+
+    def test_list_selectors(self, trained_store, capsys):
+        assert main(["list-selectors", "--store", str(trained_store)]) == 0
+        assert "mlp" in capsys.readouterr().out
+
+    def test_list_selectors_empty_store(self, tmp_path, capsys):
+        assert main(["list-selectors", "--store", str(tmp_path / "empty")]) == 0
+        assert "no selectors stored" in capsys.readouterr().out

@@ -1,0 +1,105 @@
+"""Tests for the ranking / statistical comparison utilities (repro.eval.ranking)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    average_ranks,
+    bootstrap_mean_ci,
+    improvement_significance,
+    pairwise_comparison,
+)
+
+
+@pytest.fixture
+def toy_results():
+    return {
+        "A": {"d1": 0.9, "d2": 0.8, "d3": 0.7},
+        "B": {"d1": 0.5, "d2": 0.6, "d3": 0.9},
+        "C": {"d1": 0.1, "d2": 0.2, "d3": 0.3},
+    }
+
+
+class TestAverageRanks:
+    def test_dominant_method_ranks_first(self, toy_results):
+        ranks = average_ranks(toy_results)
+        assert ranks["A"] < ranks["B"] < ranks["C"]
+        assert ranks["C"] == pytest.approx(3.0)
+
+    def test_ranks_average_to_centre(self, toy_results):
+        ranks = average_ranks(toy_results)
+        assert np.mean(list(ranks.values())) == pytest.approx(2.0)
+
+    def test_ties_are_averaged(self):
+        results = {"A": {"d1": 0.5}, "B": {"d1": 0.5}, "C": {"d1": 0.1}}
+        ranks = average_ranks(results)
+        assert ranks["A"] == ranks["B"] == pytest.approx(1.5)
+        assert ranks["C"] == pytest.approx(3.0)
+
+    def test_missing_dataset_raises(self):
+        with pytest.raises(ValueError):
+            average_ranks({"A": {"d1": 0.5}, "B": {"d2": 0.2}})
+
+
+class TestPairwise:
+    def test_win_tie_loss_counts(self, toy_results):
+        records = pairwise_comparison(toy_results, reference="A")
+        by_opponent = {r.method_b: r for r in records}
+        assert by_opponent["C"].wins == 3 and by_opponent["C"].losses == 0
+        assert by_opponent["B"].wins == 2 and by_opponent["B"].losses == 1
+        assert by_opponent["B"].win_rate == pytest.approx(2 / 3)
+
+    def test_reference_not_included(self, toy_results):
+        records = pairwise_comparison(toy_results, reference="A")
+        assert all(r.method_b != "A" for r in records)
+        assert len(records) == 2
+
+    def test_unknown_reference_raises(self, toy_results):
+        with pytest.raises(KeyError):
+            pairwise_comparison(toy_results, reference="Z")
+
+    def test_tie_margin(self):
+        results = {"A": {"d1": 0.5001}, "B": {"d1": 0.5000}}
+        exact = pairwise_comparison(results, reference="A", tie_margin=1e-9)[0]
+        loose = pairwise_comparison(results, reference="A", tie_margin=0.01)[0]
+        assert exact.wins == 1
+        assert loose.ties == 1
+
+
+class TestBootstrap:
+    def test_ci_contains_mean(self):
+        scores = np.random.default_rng(0).uniform(0.3, 0.7, size=20)
+        mean, low, high = bootstrap_mean_ci(scores, seed=1)
+        assert low <= mean <= high
+        assert mean == pytest.approx(scores.mean())
+
+    def test_ci_narrows_with_more_data(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(0.5, 0.1, size=5)
+        large = rng.normal(0.5, 0.1, size=500)
+        _, lo_s, hi_s = bootstrap_mean_ci(small, seed=2)
+        _, lo_l, hi_l = bootstrap_mean_ci(large, seed=2)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    def test_improvement_significance_clear_winner(self):
+        a = {f"d{i}": 0.6 + 0.01 * i for i in range(10)}
+        b = {f"d{i}": 0.4 + 0.01 * i for i in range(10)}
+        result = improvement_significance(a, b, seed=3)
+        assert result["mean_improvement"] == pytest.approx(0.2)
+        assert result["p_improvement"] == pytest.approx(1.0)
+        assert result["ci_low"] > 0
+
+    def test_improvement_significance_no_overlap_raises(self):
+        with pytest.raises(ValueError):
+            improvement_significance({"d1": 0.5}, {"d2": 0.5})
+
+    def test_improvement_significance_symmetric(self):
+        a = {f"d{i}": v for i, v in enumerate([0.5, 0.6, 0.7, 0.4])}
+        b = {f"d{i}": v for i, v in enumerate([0.6, 0.5, 0.6, 0.5])}
+        forward = improvement_significance(a, b, seed=4)
+        backward = improvement_significance(b, a, seed=4)
+        assert forward["mean_improvement"] == pytest.approx(-backward["mean_improvement"])

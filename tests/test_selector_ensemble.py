@@ -1,0 +1,71 @@
+"""Tests for the selector voting ensemble (repro.selectors.ensemble_selector)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainerConfig
+from repro.selectors import SelectorEnsemble, make_selector, selector_names
+
+
+class TestSelectorEnsemble:
+    def test_not_in_registry(self):
+        assert "SelectorEnsemble" not in selector_names()
+
+    def test_fit_requires_members(self, small_selector_dataset):
+        with pytest.raises(RuntimeError):
+            SelectorEnsemble().fit(small_selector_dataset)
+
+    def test_predict_requires_members(self):
+        with pytest.raises(RuntimeError):
+            SelectorEnsemble().predict_proba(np.zeros((2, 64)))
+
+    def test_mismatched_weights_raise(self, small_selector_dataset):
+        member = make_selector("KNN")
+        with pytest.raises(ValueError):
+            SelectorEnsemble([member], weights=[1.0, 2.0])
+
+    def test_ensemble_of_classical_selectors(self, small_selector_dataset):
+        ensemble = SelectorEnsemble([
+            make_selector("KNN"),
+            make_selector("Ridge"),
+        ])
+        ensemble.fit(small_selector_dataset)
+        proba = ensemble.predict_proba(small_selector_dataset.windows[:6])
+        assert proba.shape == (6, small_selector_dataset.n_classes)
+        assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_single_member_matches_member(self, small_selector_dataset):
+        member = make_selector("Ridge")
+        ensemble = SelectorEnsemble([member]).fit(small_selector_dataset)
+        windows = small_selector_dataset.windows[:5]
+        assert np.allclose(ensemble.predict_proba(windows), member.predict_proba(windows))
+
+    def test_weights_bias_toward_heavy_member(self, small_selector_dataset):
+        knn = make_selector("KNN")
+        ridge = make_selector("Ridge")
+        heavy_knn = SelectorEnsemble([knn, ridge], weights=[100.0, 1.0]).fit(small_selector_dataset)
+        windows = small_selector_dataset.windows[:10]
+        assert np.allclose(heavy_knn.predict_proba(windows), knn.predict_proba(windows), atol=0.05)
+
+    def test_add_member_incrementally(self, small_selector_dataset):
+        ensemble = SelectorEnsemble()
+        ensemble.add(make_selector("KNN")).add(make_selector("Ridge"), weight=2.0)
+        assert len(ensemble.members) == 2
+        ensemble.fit(small_selector_dataset)
+        assert ensemble.predict(small_selector_dataset.windows[:3]).shape == (3,)
+
+    def test_member_agreements(self, small_selector_dataset):
+        ensemble = SelectorEnsemble([make_selector("KNN"), make_selector("Ridge")])
+        ensemble.fit(small_selector_dataset)
+        agreements = ensemble.member_agreements(small_selector_dataset.windows[:20])
+        assert len(agreements) == 1
+        assert 0.0 <= agreements[0] <= 1.0
+
+    def test_mixed_nn_and_classical_members(self, small_selector_dataset):
+        mlp = make_selector("MLP", window=small_selector_dataset.windows.shape[1],
+                            n_classes=small_selector_dataset.n_classes, hidden=16, feature_dim=8)
+        mlp.fit(small_selector_dataset, config=TrainerConfig(epochs=1, batch_size=32))
+        ensemble = SelectorEnsemble([mlp, make_selector("KNN").fit(small_selector_dataset)])
+        ensemble.n_classes = small_selector_dataset.n_classes
+        proba = ensemble.predict_proba(small_selector_dataset.windows[:4])
+        assert proba.shape == (4, small_selector_dataset.n_classes)
