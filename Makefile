@@ -1,0 +1,23 @@
+# Developer entry points. Run from the repository root.
+#
+#   make test        - tier-1 test suite (the gate every PR must keep green)
+#   make bench-smoke - fast serving-throughput benchmark (asserts >= 5x warm cache)
+#   make bench       - every paper-table benchmark (slow: trains many selectors)
+#   make docs-check  - docstring + documentation-link checks
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench-smoke bench docs-check
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q benchmarks/bench_serving_throughput.py
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q benchmarks/
+
+docs-check:
+	$(PYTHON) tools/docs_check.py

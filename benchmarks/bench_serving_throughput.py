@@ -1,0 +1,155 @@
+"""Serving throughput — cold sequential vs batched vs warm-cache selection.
+
+The serving layer (``repro.serving``) reorganises the one-shot pipeline's
+per-series work for query traffic: batches of series share one windowing
+pass and one chunked selector forward pass, and a content-addressed LRU
+cache answers repeated queries without touching the selector.  This
+benchmark measures all three regimes on the same query set:
+
+* **cold sequential** — the one-shot path (:func:`predict_for_series`
+  per series), the pre-serving baseline,
+* **cold batched**    — ``SelectionService.select_batch`` with an empty
+  cache (vectorised windowing + one forward pass),
+* **warm batched**    — the same batch again, now answered from the cache.
+
+Acceptance (checked by assertions):
+
+* batched selections are **bitwise identical** to sequential ones
+  (same selected model, same aggregated vote vector), and
+* warm-cache batched serving is **>= 5x** faster than cold sequential.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import TrainerConfig
+from repro.data import build_selector_dataset, generate_series
+from repro.data.records import DATASET_NAMES
+from repro.eval import predict_for_series
+from repro.selectors import make_selector
+from repro.serving import SelectionService, ServingConfig
+from repro.system.reporting import format_cache_stats, format_table
+
+#: Benchmark scale (small enough for CPU laptops; raise for stress runs).
+SERVING_SCALE = {
+    "n_train_series": 8,
+    "n_query_series": 48,
+    "train_length": 800,
+    "query_length": 1600,
+    "window": 96,
+    "epochs": 2,
+    "seed": 0,
+}
+
+#: The acceptance threshold: warm cache must beat cold sequential by this.
+MIN_WARM_SPEEDUP = 5.0
+
+
+def _build_selector(scale):
+    """Train a small MLP selector on synthetic oracle knowledge."""
+    names = DATASET_NAMES[: scale["n_train_series"]]
+    train_records = [generate_series(name, 0, scale["train_length"], seed=scale["seed"])
+                     for name in names]
+    detector_names = ["IForest", "LOF", "HBOS", "MP", "POLY", "CNN"]
+    gen = np.random.default_rng(scale["seed"] + 1)
+    matrix = gen.uniform(0.05, 0.4, size=(len(train_records), len(detector_names)))
+    matrix[np.arange(len(train_records)), np.arange(len(train_records)) % len(detector_names)] += 0.5
+
+    dataset = build_selector_dataset(train_records, matrix, detector_names,
+                                     window=scale["window"], stride=scale["window"],
+                                     seed=scale["seed"])
+    # ResNet is the paper's default selector architecture — the realistic
+    # (convolutional, forward-pass-bound) serving workload.
+    selector = make_selector("ResNet", window=scale["window"], n_classes=dataset.n_classes,
+                             mid_channels=12, num_layers=2, seed=scale["seed"])
+    selector.fit(dataset, config=TrainerConfig(epochs=scale["epochs"], batch_size=64,
+                                               seed=scale["seed"]))
+    return selector, detector_names
+
+
+def _query_records(scale):
+    families = DATASET_NAMES[: min(8, len(DATASET_NAMES))]
+    return [
+        generate_series(families[i % len(families)], i, scale["query_length"],
+                        seed=scale["seed"] + 2)
+        for i in range(scale["n_query_series"])
+    ]
+
+
+def run_serving_benchmark(scale=None):
+    """Time the three serving regimes; returns rates, results and stats."""
+    scale = dict(SERVING_SCALE, **(scale or {}))
+    selector, detector_names = _build_selector(scale)
+    records = _query_records(scale)
+    window = scale["window"]
+
+    # Cold sequential: the pre-serving, per-series path.
+    start = time.perf_counter()
+    sequential = [predict_for_series(selector, record, window) for record in records]
+    seq_time = time.perf_counter() - start
+
+    # Cold batched: one windowing pass + one chunked forward pass.
+    service = SelectionService(selector, detector_names, ServingConfig(window=window))
+    start = time.perf_counter()
+    cold_results = service.select_batch(records)
+    cold_time = time.perf_counter() - start
+
+    # Warm batched: answered entirely from the content-addressed cache.
+    start = time.perf_counter()
+    warm_results = service.select_batch(records)
+    warm_time = time.perf_counter() - start
+
+    # --- equivalence: batched results must be bitwise identical ---------- #
+    for record, (choice, aggregated), cold, warm in zip(records, sequential,
+                                                        cold_results, warm_results):
+        assert cold.selected_index == choice, f"batch != sequential on {record.name}"
+        assert cold.selected_model == detector_names[choice]
+        assert list(cold.votes.values()) == [float(v) for v in aggregated], \
+            f"vote vector differs on {record.name}"
+        assert warm.votes == cold.votes and warm.selected_index == cold.selected_index
+    assert all(r.from_cache for r in warm_results)
+
+    n = len(records)
+    return {
+        "n_series": n,
+        "seq_time": seq_time,
+        "cold_time": cold_time,
+        "warm_time": warm_time,
+        "rates": {
+            "cold sequential": n / seq_time,
+            "cold batched": n / cold_time,
+            "warm batched": n / warm_time,
+        },
+        "warm_speedup": seq_time / warm_time,
+        "batch_speedup": seq_time / cold_time,
+        "stats": service.stats,
+    }
+
+
+@pytest.mark.benchmark(group="serving-throughput")
+def test_serving_throughput(benchmark):
+    """Warm-cache batched serving must beat cold sequential by >= 5x."""
+    out = benchmark.pedantic(run_serving_benchmark, rounds=1, iterations=1)
+
+    rows = [[label, f"{rate:.1f}"] for label, rate in out["rates"].items()]
+    rows.append(["warm speedup vs cold sequential", f"{out['warm_speedup']:.1f}x"])
+    rows.append(["batch speedup vs cold sequential", f"{out['batch_speedup']:.2f}x"])
+    print()
+    print(format_table(["regime", "series/sec"], rows))
+    print(format_cache_stats(out["stats"]))
+
+    assert out["warm_speedup"] >= MIN_WARM_SPEEDUP, (
+        f"warm cache only {out['warm_speedup']:.1f}x faster than cold sequential "
+        f"(need >= {MIN_WARM_SPEEDUP}x)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual smoke entry point
+    out = run_serving_benchmark()
+    for label, rate in out["rates"].items():
+        print(f"{label:>16}: {rate:10.1f} series/sec")
+    print(f"warm speedup: {out['warm_speedup']:.1f}x  (threshold {MIN_WARM_SPEEDUP}x)")

@@ -29,6 +29,9 @@ Sub-packages
 ``repro.system``
     End-to-end system: selector store, model-selection pipeline and
     anomaly-detection runner.
+``repro.serving``
+    Batched, cached selection serving: content-addressed LRU result cache,
+    batched window extraction + forward passes, worker fan-out.
 """
 
 __version__ = "1.0.0"
@@ -46,7 +49,7 @@ def __getattr__(name):
     """
     import importlib
 
-    if name in {"ml", "detectors", "data", "text", "selectors", "core", "eval", "system"}:
+    if name in {"ml", "detectors", "data", "text", "selectors", "core", "eval", "system", "serving"}:
         module = importlib.import_module(f".{name}", __name__)
         globals()[name] = module
         return module

@@ -1,0 +1,46 @@
+"""Batched selector inference — the shared predict path of the system.
+
+Selector forward passes are memory-bound: a serving batch can stack tens of
+thousands of windows, far more than the NN substrate should materialise
+activations for at once.  :func:`batched_predict_proba` runs any per-window
+probability function in fixed-size chunks into a pre-allocated output, so
+the one-shot pipeline, the trainer's validation pass and the serving
+layer's batch path all share the same inference loop.
+
+Chunking never changes results: every selector's probability function is
+row-independent (each window's class distribution depends only on that
+window), so the chunk boundaries are a pure memory/latency trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+#: Default number of windows per inference chunk.  Measured on the conv
+#: selectors, 32-64 windows keep the im2col working set inside cache;
+#: larger chunks are slower per window, smaller ones pay Python overhead.
+DEFAULT_PREDICT_BATCH_SIZE = 64
+
+
+def batched_predict_proba(
+    proba_fn: Callable[[np.ndarray], np.ndarray],
+    windows: np.ndarray,
+    n_classes: int,
+    batch_size: int = DEFAULT_PREDICT_BATCH_SIZE,
+) -> np.ndarray:
+    """Apply a per-window probability function in fixed-size chunks.
+
+    ``proba_fn`` maps a (B, ...) slice of ``windows`` to a (B, n_classes)
+    probability matrix; the slices are concatenated into one (N, n_classes)
+    output.  ``batch_size <= 0`` runs everything in a single chunk.
+    """
+    windows = np.asarray(windows)
+    if batch_size <= 0:
+        batch_size = max(len(windows), 1)
+    proba = np.empty((len(windows), n_classes), dtype=np.float64)
+    for start in range(0, len(windows), batch_size):
+        chunk = windows[start:start + batch_size]
+        proba[start:start + len(chunk)] = proba_fn(chunk)
+    return proba

@@ -21,7 +21,14 @@ from .records import (
     TEST_DATASET_NAMES,
     TimeSeriesRecord,
 )
-from .windows import SelectorDataset, build_selector_dataset, extract_windows
+from .windows import (
+    SelectorDataset,
+    build_selector_dataset,
+    count_windows,
+    extract_windows,
+    extract_windows_batch,
+    znormalize_windows,
+)
 
 __all__ = [
     "INJECTORS", "AnomalySpan", "inject_anomalies",
@@ -30,5 +37,6 @@ __all__ = [
     "labels_to_spans", "load_series_directory", "load_series_file", "save_series_file",
     "describe_record", "describe_subsequence",
     "DATASET_DESCRIPTIONS", "DATASET_NAMES", "TEST_DATASET_NAMES", "TimeSeriesRecord",
-    "SelectorDataset", "build_selector_dataset", "extract_windows",
+    "SelectorDataset", "build_selector_dataset", "count_windows",
+    "extract_windows", "extract_windows_batch", "znormalize_windows",
 ]

@@ -20,13 +20,50 @@ per-series choice is a majority vote.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ml.scalers import zscore
 from .metadata import describe_record
 from .records import TimeSeriesRecord
+
+
+def znormalize_windows(windows: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Z-normalise each row of a (N, L) window matrix in one vectorised pass.
+
+    Constant rows (std below ``eps``) map to zeros, matching
+    :func:`repro.ml.scalers.zscore` applied row by row.  Because every row is
+    reduced independently along the last axis, the result is bitwise
+    identical whether rows from one series or from a whole batch of series
+    are stacked together — the property the serving layer's batch path
+    relies on.
+    """
+    windows = np.asarray(windows, dtype=np.float64)
+    mean = windows.mean(axis=1, keepdims=True)
+    std = windows.std(axis=1, keepdims=True)
+    constant = std.ravel() < eps
+    out = (windows - mean) / np.where(std < eps, 1.0, std)
+    out[constant] = 0.0
+    return out
+
+
+def _pad_series(series: np.ndarray, window: int) -> np.ndarray:
+    """Pad a too-short series by repeating its last value (empty → zeros)."""
+    if len(series) >= window:
+        return series
+    fill = series[-1] if len(series) else 0.0
+    return np.concatenate([series, np.full(window - len(series), fill)])
+
+
+def count_windows(length: int, window: int, stride: Optional[int] = None) -> int:
+    """Number of windows :func:`extract_windows` yields for a series length.
+
+    The single source of truth for the window count (shared with batched
+    extraction and the serving layer's micro-batch budgeting): too-short
+    series are padded up to ``window``, so every series yields at least one.
+    """
+    stride = stride or window
+    return (max(length, window) - window) // stride + 1
 
 
 def extract_windows(series: np.ndarray, window: int, stride: Optional[int] = None,
@@ -36,16 +73,51 @@ def extract_windows(series: np.ndarray, window: int, stride: Optional[int] = Non
     Series shorter than ``window`` are padded by repeating their last value
     so that every series contributes at least one window.
     """
-    series = np.asarray(series, dtype=np.float64).ravel()
+    series = _pad_series(np.asarray(series, dtype=np.float64).ravel(), window)
     stride = stride or window
-    if len(series) < window:
-        series = np.concatenate([series, np.full(window - len(series), series[-1] if len(series) else 0.0)])
-    n = (len(series) - window) // stride + 1
+    n = count_windows(len(series), window, stride)
     idx = np.arange(window)[None, :] + stride * np.arange(n)[:, None]
     windows = series[idx]
     if normalize:
-        windows = np.apply_along_axis(zscore, 1, windows)
+        windows = znormalize_windows(windows)
     return windows
+
+
+def extract_windows_batch(
+    series_list: Sequence[np.ndarray],
+    window: int,
+    stride: Optional[int] = None,
+    normalize: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Window a whole batch of series into one stacked (N, L) matrix.
+
+    Returns ``(windows, offsets)`` where ``windows`` stacks every series'
+    windows in order and ``offsets`` has length ``len(series_list) + 1``:
+    series ``i`` owns rows ``windows[offsets[i]:offsets[i + 1]]``.
+
+    The per-window values are bitwise identical to calling
+    :func:`extract_windows` on each series separately, but normalisation and
+    allocation happen once for the whole batch, which is what makes the
+    serving layer's batched selector forward pass worthwhile.
+    """
+    stride = stride or window
+    padded: List[np.ndarray] = []
+    counts: List[int] = []
+    for series in series_list:
+        series = _pad_series(np.asarray(series, dtype=np.float64).ravel(), window)
+        padded.append(series)
+        counts.append(count_windows(len(series), window, stride))
+
+    offsets = np.zeros(len(padded) + 1, dtype=int)
+    np.cumsum(counts, out=offsets[1:])
+    stacked = np.empty((int(offsets[-1]), window), dtype=np.float64)
+    base = np.arange(window)[None, :]
+    for i, series in enumerate(padded):
+        idx = base + stride * np.arange(counts[i])[:, None]
+        stacked[offsets[i]:offsets[i + 1]] = series[idx]
+    if normalize:
+        stacked = znormalize_windows(stacked)
+    return stacked, offsets
 
 
 @dataclass

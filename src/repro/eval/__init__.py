@@ -13,6 +13,7 @@ from .metrics import (
 from .oracle import METRICS, Oracle
 from .evaluation import (
     SelectionEvaluation,
+    aggregate_window_probas,
     evaluate_selection,
     oracle_upper_bound,
     predict_for_series,
@@ -30,8 +31,8 @@ __all__ = [
     "accuracy", "auc_pr", "auc_roc", "best_f1", "detection_report",
     "precision_at_k", "precision_recall_curve", "top_k_accuracy",
     "METRICS", "Oracle",
-    "SelectionEvaluation", "evaluate_selection", "oracle_upper_bound",
-    "predict_for_series", "single_best_baseline",
+    "SelectionEvaluation", "aggregate_window_probas", "evaluate_selection",
+    "oracle_upper_bound", "predict_for_series", "single_best_baseline",
     "PairwiseRecord", "average_ranks", "bootstrap_mean_ci",
     "improvement_significance", "pairwise_comparison",
 ]

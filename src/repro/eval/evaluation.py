@@ -39,20 +39,16 @@ class SelectionEvaluation:
         return float(np.mean(list(self.per_dataset_score.values())))
 
 
-def predict_for_series(
-    selector: Selector,
-    record: TimeSeriesRecord,
-    window: int,
-    aggregation: str = "vote",
-) -> tuple[int, np.ndarray]:
-    """Predict a TSAD model for one series.
+def aggregate_window_probas(proba: np.ndarray, aggregation: str = "vote") -> tuple[int, np.ndarray]:
+    """Reduce one series' per-window probabilities to a model choice.
 
     Returns (selected model index, per-class aggregated probabilities).
     ``aggregation`` is either ``"vote"`` (majority voting, the paper's
-    default) or ``"mean"`` (average predicted probabilities).
+    default) or ``"mean"`` (average predicted probabilities).  This is the
+    single aggregation implementation shared by the one-shot pipeline and
+    the batched serving layer, so both produce identical selections.
     """
-    windows = extract_windows(record.series, window, stride=window)
-    proba = selector.predict_proba(windows)
+    proba = np.asarray(proba, dtype=np.float64)
     if aggregation == "vote":
         votes = proba.argmax(axis=1)
         counts = np.bincount(votes, minlength=proba.shape[1]).astype(float)
@@ -62,6 +58,17 @@ def predict_for_series(
     else:
         raise ValueError("aggregation must be 'vote' or 'mean'")
     return int(aggregated.argmax()), aggregated
+
+
+def predict_for_series(
+    selector: Selector,
+    record: TimeSeriesRecord,
+    window: int,
+    aggregation: str = "vote",
+) -> tuple[int, np.ndarray]:
+    """Predict a TSAD model for one series (window, classify, aggregate)."""
+    windows = extract_windows(record.series, window, stride=window)
+    return aggregate_window_probas(selector.predict_proba(windows), aggregation)
 
 
 def evaluate_selection(

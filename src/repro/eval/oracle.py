@@ -19,6 +19,7 @@ import numpy as np
 
 from ..data.records import TimeSeriesRecord
 from ..detectors.base import AnomalyDetector
+from ..serving.workers import WorkerPool
 from .metrics import auc_pr, auc_roc, best_f1
 
 METRICS: Dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
@@ -48,6 +49,7 @@ class Oracle:
         metric: str = "auc_pr",
         cache_dir: Optional[str | Path] = None,
         verbose: bool = False,
+        max_workers: int = 0,
     ) -> None:
         if metric not in METRICS:
             raise ValueError(f"unknown metric {metric!r}; available: {sorted(METRICS)}")
@@ -56,6 +58,9 @@ class Oracle:
         self.metric_fn = METRICS[metric]
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.verbose = verbose
+        #: ``>= 2`` fans series scoring out to a thread pool (labelling is
+        #: embarrassingly parallel across series); 0/1 scores sequentially.
+        self.max_workers = max_workers
 
     @property
     def detector_names(self) -> List[str]:
@@ -83,11 +88,14 @@ class Oracle:
                 with np.load(cache_path, allow_pickle=False) as archive:
                     return archive["performance"]
 
-        matrix = np.zeros((len(records), len(self.model_set)))
-        for i, record in enumerate(records):
+        def score_one(item):
+            i, record = item
             if self.verbose:
                 print(f"oracle: scoring series {i + 1}/{len(records)} ({record.name})")
-            matrix[i] = self.score_series(record)
+            return self.score_series(record)
+
+        rows = WorkerPool(self.max_workers).map(score_one, enumerate(records))
+        matrix = np.array(rows) if rows else np.zeros((0, len(self.model_set)))
 
         if cache_path is not None:
             np.savez(cache_path, performance=matrix,

@@ -2,25 +2,34 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
-_default_rng = np.random.default_rng(0)
+# The initialisation RNG is thread-local: worker threads (repro.serving's
+# fan-out builds NN detectors concurrently) each get their own stream, so a
+# set_seed() in one thread cannot corrupt the draws of another.  Every
+# thread starts from seed 0, matching the old module-global default.
+_rng_store = threading.local()
 
 
 def set_seed(seed: int) -> None:
-    """Reset the module-level RNG used for parameter initialisation."""
-    global _default_rng
-    _default_rng = np.random.default_rng(seed)
+    """Reset the calling thread's RNG used for parameter initialisation."""
+    _rng_store.rng = np.random.default_rng(seed)
 
 
 def get_rng() -> np.random.Generator:
-    """Return the RNG used for parameter initialisation."""
-    return _default_rng
+    """Return the calling thread's RNG used for parameter initialisation."""
+    rng = getattr(_rng_store, "rng", None)
+    if rng is None:
+        rng = np.random.default_rng(0)
+        _rng_store.rng = rng
+    return rng
 
 
 def xavier_uniform(shape, gain: float = 1.0, rng: np.random.Generator | None = None) -> np.ndarray:
     """Glorot / Xavier uniform initialisation."""
-    rng = rng or _default_rng
+    rng = rng or get_rng()
     fan_in, fan_out = _fans(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
     return rng.uniform(-bound, bound, size=shape)
@@ -28,7 +37,7 @@ def xavier_uniform(shape, gain: float = 1.0, rng: np.random.Generator | None = N
 
 def kaiming_uniform(shape, rng: np.random.Generator | None = None) -> np.ndarray:
     """He / Kaiming uniform initialisation (ReLU gain)."""
-    rng = rng or _default_rng
+    rng = rng or get_rng()
     fan_in, _ = _fans(shape)
     bound = np.sqrt(6.0 / fan_in)
     return rng.uniform(-bound, bound, size=shape)
@@ -36,7 +45,7 @@ def kaiming_uniform(shape, rng: np.random.Generator | None = None) -> np.ndarray
 
 def normal(shape, std: float = 0.02, rng: np.random.Generator | None = None) -> np.ndarray:
     """Gaussian initialisation with the given standard deviation."""
-    rng = rng or _default_rng
+    rng = rng or get_rng()
     return rng.normal(0.0, std, size=shape)
 
 

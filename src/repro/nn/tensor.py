@@ -13,36 +13,38 @@ sort over the recorded graph drives the backward pass.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
-_grad_enabled = True
+# Grad tracking is a *thread-local* flag: one worker thread entering
+# inference (repro.serving fans detector runs out to threads) must not
+# silently disable autograd for another thread that is mid-training.
+_grad_state = threading.local()
 
 
 class no_grad:
-    """Context manager that disables gradient tracking.
+    """Context manager that disables gradient tracking in the calling thread.
 
     Mirrors ``torch.no_grad``.  Inside the context, operations on tensors do
     not build the autograd graph, which makes inference cheaper.
     """
 
     def __enter__(self) -> "no_grad":
-        global _grad_enabled
-        self._prev = _grad_enabled
-        _grad_enabled = False
+        self._prev = is_grad_enabled()
+        _grad_state.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _grad_enabled
-        _grad_enabled = self._prev
+        _grad_state.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
     """Return True when operations should record gradient information."""
-    return _grad_enabled
+    return getattr(_grad_state, "enabled", True)
 
 
 def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:

@@ -131,16 +131,21 @@ class NNSelector(Selector):
         self.last_report_ = trainer.fit(dataset)
         return self
 
-    def predict_proba(self, windows: np.ndarray) -> np.ndarray:
+    def predict_proba(self, windows: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+        from ..core.inference import DEFAULT_PREDICT_BATCH_SIZE, batched_predict_proba
+
         self.build()
         self.train_mode(False)
-        proba = np.zeros((len(windows), self.n_classes))
-        with nn.no_grad():
-            for start in range(0, len(windows), 256):
-                batch = windows[start:start + 256]
-                logits, _ = self.forward(batch)
-                proba[start:start + len(batch)] = nn.functional.softmax(logits, axis=-1).numpy()
-        return proba
+
+        def proba_fn(chunk: np.ndarray) -> np.ndarray:
+            with nn.no_grad():
+                logits, _ = self.forward(chunk)
+                return nn.functional.softmax(logits, axis=-1).numpy()
+
+        return batched_predict_proba(
+            proba_fn, windows, self.n_classes,
+            batch_size=batch_size or DEFAULT_PREDICT_BATCH_SIZE,
+        )
 
     def __repr__(self) -> str:
         return f"{self.__class__.__name__}(window={self.window}, n_classes={self.n_classes})"

@@ -1,0 +1,25 @@
+"""``repro.serving`` — the batched, cached selection-serving layer.
+
+Turns a trained selector into a throughput-oriented service: batches of
+series are windowed and classified in one vectorised pass, repeated queries
+are answered from a content-addressed LRU cache, and fan-out work (oracle
+labelling, per-series detection) can run on a worker pool.
+
+* :mod:`repro.serving.cache`    — series fingerprinting + LRU result cache,
+* :mod:`repro.serving.batching` — batch assembly utilities,
+* :mod:`repro.serving.workers`  — sequential/thread-pool worker abstraction,
+* :mod:`repro.serving.service`  — :class:`SelectionService`, the front end.
+
+See ``docs/architecture.md`` for the batching/caching semantics.
+"""
+
+from .batching import microbatches
+from .cache import CacheStats, LRUCache, series_fingerprint
+from .service import SelectionResult, SelectionService, ServingConfig
+from .workers import WorkerPool
+
+__all__ = [
+    "CacheStats", "LRUCache", "series_fingerprint",
+    "SelectionResult", "SelectionService", "ServingConfig",
+    "WorkerPool", "microbatches",
+]

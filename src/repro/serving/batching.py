@@ -1,0 +1,42 @@
+"""Batch assembly utilities for the serving layer.
+
+A serving deployment rarely receives exactly the batch it wants to compute:
+queries arrive as one giant directory sweep or as a trickle of singletons.
+These helpers reshape arbitrary record sequences into micro-batches whose
+*window* count (the real unit of selector work) is bounded, so peak memory
+stays flat no matter how many series a caller submits at once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from ..data.records import TimeSeriesRecord
+from ..data.windows import count_windows
+
+
+def microbatches(
+    records: Sequence[TimeSeriesRecord],
+    window: int,
+    stride: Optional[int] = None,
+    max_windows: int = 8192,
+) -> Iterator[List[TimeSeriesRecord]]:
+    """Split records into batches of at most ``max_windows`` total windows.
+
+    Record order is preserved; a single series larger than the budget still
+    forms its own batch (it cannot be split without changing results).
+    """
+    if max_windows < 1:
+        raise ValueError("max_windows must be >= 1")
+    batch: List[TimeSeriesRecord] = []
+    batch_windows = 0
+    for record in records:
+        n = count_windows(record.length, window, stride)
+        if batch and batch_windows + n > max_windows:
+            yield batch
+            batch = []
+            batch_windows = 0
+        batch.append(record)
+        batch_windows += n
+    if batch:
+        yield batch

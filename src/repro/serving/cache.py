@@ -1,0 +1,122 @@
+"""Content-addressed LRU result cache for selection serving.
+
+Query traffic to a model-selection service is heavily repetitive: the same
+series (dashboards refreshing, retries, shared data sources) is submitted
+again and again, and a selector's answer for identical bytes never changes.
+The cache therefore keys results by a *content fingerprint* of the series
+(plus the serving configuration that shaped the answer), not by name — two
+queries with the same data hit the same entry no matter what they are
+called, and any change to the bytes produces a new key.
+
+Eviction is least-recently-used with a fixed capacity, and every lookup is
+counted so operators can watch hit rates (:class:`CacheStats`).  All
+operations take a lock, so a service shared across worker threads needs no
+extra synchronisation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+def series_fingerprint(series: np.ndarray, extra: Iterable[object] = ()) -> str:
+    """Content-addressed key of a series (plus config tokens in ``extra``).
+
+    Hashes the full byte content, dtype and shape, so any change to the data
+    yields a different key; ``extra`` tokens (window size, aggregation, ...)
+    separate answers computed under different serving configurations.
+    """
+    series = np.ascontiguousarray(np.asarray(series))
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(str(series.dtype).encode())
+    hasher.update(str(series.shape).encode())
+    hasher.update(series.tobytes())
+    for token in extra:
+        hasher.update(b"\x00")
+        hasher.update(str(token).encode())
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one cache: lookups, outcomes and current occupancy."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class LRUCache:
+    """A thread-safe, fixed-capacity least-recently-used map."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Optional[object]:
+        """Return the cached value (refreshing recency) or ``None``."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return None
+
+    def put(self, key: str, value: object) -> None:
+        """Insert or refresh an entry, evicting the oldest when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the counters keep accumulating)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

@@ -1,0 +1,223 @@
+"""The selection service: batched, cached "which TSAD model?" answering.
+
+This is the throughput-oriented front end over a trained selector.  Where
+:class:`repro.system.pipeline.ModelSelectionPipeline` answers one series at
+a time (window → forward pass → vote), :class:`SelectionService` accepts a
+whole batch and reorganises the same work for scale:
+
+1. **Content-addressed caching** — every series is fingerprinted
+   (:func:`repro.serving.cache.series_fingerprint`); repeated queries are
+   answered from an LRU cache without touching the selector at all.
+2. **Batched windowing** — the cache-missing series are windowed together
+   (:func:`repro.data.windows.extract_windows_batch`) into one stacked
+   matrix, normalised in a single vectorised pass.
+3. **One batched forward pass** — the stacked windows go through the
+   selector's chunked predict path
+   (:func:`repro.core.inference.batched_predict_proba`) instead of one
+   forward pass per series.
+4. **Shared aggregation** — per-series majority voting reuses
+   :func:`repro.eval.evaluation.aggregate_window_probas`, the exact code
+   path of the one-shot pipeline, so batched selections are bitwise
+   identical to sequential ones.
+
+Within one batch, duplicate series (same fingerprint) are computed once and
+fan out to every occurrence; the cache counts one lookup per *unique*
+series per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.inference import DEFAULT_PREDICT_BATCH_SIZE
+from ..data.records import TimeSeriesRecord
+from ..data.windows import extract_windows_batch
+from ..eval.evaluation import aggregate_window_probas
+from ..selectors.base import Selector
+from ..selectors.nn_selector import NNSelector
+from .cache import CacheStats, LRUCache, series_fingerprint
+from .workers import WorkerPool
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the serving layer (windowing, caching, fan-out)."""
+
+    #: selector input window length (must match how the selector was trained)
+    window: int = 96
+    #: window stride; ``None`` means non-overlapping (the pipeline default)
+    stride: Optional[int] = None
+    #: per-series reduction of window predictions: ``"vote"`` or ``"mean"``
+    aggregation: str = "vote"
+    #: maximum number of cached selection results (LRU beyond that)
+    cache_capacity: int = 4096
+    #: thread count for detection fan-out; 0 runs sequentially
+    max_workers: int = 0
+    #: windows per selector forward chunk (memory/latency trade-off)
+    predict_batch_size: int = DEFAULT_PREDICT_BATCH_SIZE
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """The service's answer for one series."""
+
+    series_name: str
+    selected_index: int
+    selected_model: str
+    votes: Dict[str, float]
+    n_windows: int
+    from_cache: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (the ``serve`` CLI output format)."""
+        return {
+            "series": self.series_name,
+            "selected_index": self.selected_index,
+            "selected_model": self.selected_model,
+            "votes": dict(self.votes),
+            "n_windows": self.n_windows,
+            "cached": self.from_cache,
+        }
+
+
+class SelectionService:
+    """Serve model-selection queries from a trained selector, at scale."""
+
+    def __init__(
+        self,
+        selector: Selector,
+        detector_names: Sequence[str],
+        config: Optional[ServingConfig] = None,
+    ) -> None:
+        self.selector = selector
+        self.detector_names = list(detector_names)
+        self.config = config or ServingConfig()
+        self.cache = LRUCache(self.config.cache_capacity)
+        self.workers = WorkerPool(self.config.max_workers)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_store(
+        cls,
+        store_root,
+        name: str,
+        detector_names: Sequence[str],
+        config: Optional[ServingConfig] = None,
+    ) -> "SelectionService":
+        """Build a service around a selector persisted in a selector store."""
+        from ..system.selector_store import SelectorStore  # deferred: system imports serving
+
+        return cls(SelectorStore(store_root).load(name), detector_names, config)
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def fingerprint(self, record: TimeSeriesRecord) -> str:
+        """Cache key of one series under this service's configuration."""
+        cfg = self.config
+        return series_fingerprint(
+            record.series,
+            extra=(cfg.window, cfg.stride or cfg.window, cfg.aggregation),
+        )
+
+    def _predict_proba(self, windows: np.ndarray) -> np.ndarray:
+        if isinstance(self.selector, NNSelector):
+            return self.selector.predict_proba(windows, batch_size=self.config.predict_batch_size)
+        return self.selector.predict_proba(windows)
+
+    def select_batch(self, records: Sequence[TimeSeriesRecord]) -> List[SelectionResult]:
+        """Answer a batch of series, vectorised across the cache misses."""
+        results: List[Optional[SelectionResult]] = [None] * len(records)
+
+        # One cache lookup per unique series; duplicates share the outcome.
+        occurrences: Dict[str, List[int]] = {}
+        for i, record in enumerate(records):
+            occurrences.setdefault(self.fingerprint(record), []).append(i)
+
+        miss_keys: List[str] = []
+        for key, indices in occurrences.items():
+            hit = self.cache.get(key)
+            if hit is not None:
+                for i in indices:
+                    # votes is copied so a caller mutating a result cannot
+                    # corrupt the cached entry shared by future hits
+                    results[i] = replace(hit, series_name=records[i].name,
+                                         votes=dict(hit.votes), from_cache=True)
+            else:
+                miss_keys.append(key)
+
+        if miss_keys:
+            cfg = self.config
+            windows, offsets = extract_windows_batch(
+                [records[occurrences[key][0]].series for key in miss_keys],
+                cfg.window,
+                stride=cfg.stride,
+            )
+            proba = self._predict_proba(windows)
+            for j, key in enumerate(miss_keys):
+                series_proba = proba[offsets[j]:offsets[j + 1]]
+                choice, aggregated = aggregate_window_probas(series_proba, cfg.aggregation)
+                result = SelectionResult(
+                    series_name=records[occurrences[key][0]].name,
+                    selected_index=choice,
+                    selected_model=self.detector_names[choice],
+                    votes={name: float(aggregated[k]) for k, name in enumerate(self.detector_names)},
+                    n_windows=len(series_proba),
+                )
+                self.cache.put(key, result)
+                for i in occurrences[key]:
+                    results[i] = replace(result, series_name=records[i].name,
+                                         votes=dict(result.votes))
+
+        return results  # type: ignore[return-value]
+
+    def select(self, record: TimeSeriesRecord) -> SelectionResult:
+        """Answer a single series (a batch of one — same code path)."""
+        return self.select_batch([record])[0]
+
+    def detect_batch(
+        self,
+        records: Sequence[TimeSeriesRecord],
+        model_set: Dict[str, "object"],
+    ) -> List[Tuple[SelectionResult, "object"]]:
+        """Select a model per series, then fan detection out to the workers.
+
+        Returns ``[(selection, DetectionResult), ...]`` in input order; the
+        detection runs use the service's :class:`WorkerPool`, so
+        ``max_workers >= 2`` overlaps the per-series detector work.
+        """
+        from ..system.anomaly_detection import run_detection  # deferred: system imports serving
+
+        selections = self.select_batch(records)
+
+        def detect_one(pair):
+            record, selection = pair
+            detection = run_detection(
+                record, model_set[selection.selected_model],
+                detector_name=selection.selected_model,
+            )
+            return selection, detection
+
+        return self.workers.map(detect_one, zip(records, selections))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the result cache."""
+        return self.cache.stats
+
+    def clear_cache(self) -> None:
+        """Drop every cached selection (counters keep accumulating)."""
+        self.cache.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectionService(selector={self.selector!r}, "
+            f"models={len(self.detector_names)}, cache={self.cache.stats.size}/"
+            f"{self.config.cache_capacity})"
+        )

@@ -1,0 +1,51 @@
+"""Worker abstraction for fan-out work (oracle labelling, detector fan-out).
+
+A :class:`WorkerPool` maps a function over a list of items either
+sequentially (``max_workers=0``, the default — no threads, deterministic
+execution order, trivially debuggable) or on a thread pool.  Results always
+come back in input order regardless of completion order, so callers can
+treat the two modes interchangeably.
+
+Threads (not processes) are the right tool here: the expensive fan-out
+payloads — running a detector over a series, scoring an oracle row — spend
+most of their time inside NumPy, which releases the GIL for the heavy
+array operations.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class WorkerPool:
+    """Map work over items, sequentially or on a bounded thread pool."""
+
+    def __init__(self, max_workers: int = 0) -> None:
+        if max_workers < 0:
+            raise ValueError("max_workers must be >= 0 (0 means sequential)")
+        self.max_workers = max_workers
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether this pool actually spawns threads (needs >= 2 workers)."""
+        return self.max_workers >= 2
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Apply ``fn`` to every item, returning results in input order."""
+        items = list(items)
+        if not self.is_parallel or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=min(self.max_workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+    def starmap(self, fn: Callable[..., R], items: Iterable[Sequence]) -> List[R]:
+        """Like :meth:`map` but unpacks each item as positional arguments."""
+        return self.map(lambda args: fn(*args), items)
+
+    def __repr__(self) -> str:
+        mode = f"threads={self.max_workers}" if self.is_parallel else "sequential"
+        return f"WorkerPool({mode})"

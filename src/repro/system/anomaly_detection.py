@@ -16,6 +16,7 @@ import numpy as np
 from ..data.records import TimeSeriesRecord
 from ..detectors.base import AnomalyDetector
 from ..eval.metrics import detection_report
+from ..serving.workers import WorkerPool
 
 
 @dataclass
@@ -34,9 +35,13 @@ class DetectionResult:
 
 def run_detection(record: TimeSeriesRecord, detector: AnomalyDetector,
                   detector_name: Optional[str] = None) -> DetectionResult:
-    """Run one detector on one labelled series and compute its metrics."""
+    """Run one detector on one series; metrics only when labels exist.
+
+    Unlabeled series (no positive point in ``record.labels``) get an empty
+    ``metrics`` dict — there is no ground truth to evaluate against.
+    """
     scores = detector.detect(record.series)
-    metrics = detection_report(record.labels, scores) if record.labels.any() or True else {}
+    metrics = detection_report(record.labels, scores) if record.labels.any() else {}
     return DetectionResult(
         series_name=record.name,
         detector_name=detector_name or detector.name,
@@ -49,12 +54,19 @@ def compare_models(
     record: TimeSeriesRecord,
     model_set: Dict[str, AnomalyDetector],
     names: Optional[Sequence[str]] = None,
+    max_workers: int = 0,
 ) -> Dict[str, DetectionResult]:
-    """Run several candidate detectors on the same series (comparative analysis)."""
+    """Run several candidate detectors on the same series (comparative analysis).
+
+    ``max_workers >= 2`` fans the detector runs out to a thread pool (the
+    detectors are independent of each other); the default runs sequentially.
+    """
     names = list(names) if names is not None else list(model_set)
-    results = {}
     for name in names:
         if name not in model_set:
             raise KeyError(f"detector {name!r} is not part of the model set")
-        results[name] = run_detection(record, model_set[name], detector_name=name)
-    return results
+    pool = WorkerPool(max_workers)
+    results = pool.map(
+        lambda name: run_detection(record, model_set[name], detector_name=name), names
+    )
+    return dict(zip(names, results))

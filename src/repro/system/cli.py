@@ -11,9 +11,14 @@ be driven without writing Python:
 * ``evaluate``      — evaluate a stored selector on labelled series.
 * ``select``        — predict the best TSAD model for one series.
 * ``detect``        — select a model and run it, printing the metrics.
+* ``batch-select``  — serve a whole directory of series through the batched,
+  cached selection service and report throughput + cache statistics.
+* ``serve``         — long-running mode: read series file paths from stdin,
+  answer each with one JSON line (cache kept warm across queries).
 * ``list-selectors`` — show the contents of a selector store.
 
-Run ``python -m repro.system.cli --help`` for details.
+Run ``python -m repro.system.cli --help`` for details; ``docs/cli.md`` has a
+worked example for every command.
 """
 
 from __future__ import annotations
@@ -107,6 +112,27 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--detector-window", type=int, default=24)
     detect.add_argument("--scores-output", type=Path, default=None,
                         help="optional CSV to write the point-wise anomaly scores to")
+
+    batch = sub.add_parser("batch-select",
+                           help="batched, cached model selection over a directory of series")
+    batch.add_argument("data_dir", type=Path)
+    batch.add_argument("--store", type=Path, default=Path("selector_store"))
+    batch.add_argument("--name", required=True)
+    batch.add_argument("--window", type=int, default=96)
+    batch.add_argument("--aggregation", default="vote", choices=["vote", "mean"])
+    batch.add_argument("--cache-capacity", type=int, default=4096)
+    batch.add_argument("--max-batch-windows", type=int, default=8192,
+                       help="micro-batch size cap, in selector windows")
+    batch.add_argument("--repeat", type=int, default=1,
+                       help="serve the directory this many times (>1 shows warm-cache speed)")
+
+    serve = sub.add_parser("serve",
+                           help="read series file paths from stdin, answer each as a JSON line")
+    serve.add_argument("--store", type=Path, default=Path("selector_store"))
+    serve.add_argument("--name", required=True)
+    serve.add_argument("--window", type=int, default=96)
+    serve.add_argument("--aggregation", default="vote", choices=["vote", "mean"])
+    serve.add_argument("--cache-capacity", type=int, default=4096)
 
     list_cmd = sub.add_parser("list-selectors", help="show the contents of a selector store")
     list_cmd.add_argument("--store", type=Path, default=Path("selector_store"))
@@ -238,6 +264,72 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_service(args: argparse.Namespace) -> "SelectionService":
+    from ..detectors.base import DEFAULT_MODEL_NAMES
+    from ..serving import SelectionService, ServingConfig
+
+    config = ServingConfig(
+        window=args.window,
+        aggregation=args.aggregation,
+        cache_capacity=args.cache_capacity,
+    )
+    return SelectionService.from_store(args.store, args.name, DEFAULT_MODEL_NAMES, config)
+
+
+def _cmd_batch_select(args: argparse.Namespace) -> int:
+    import time
+
+    from ..serving import microbatches
+    from .reporting import format_cache_stats
+
+    try:
+        records = load_series_directory(args.data_dir)
+    except (FileNotFoundError, NotADirectoryError) as error:
+        raise SystemExit(f"no such directory: {error}")
+    except (OSError, ValueError) as error:
+        raise SystemExit(str(error))
+    service = _make_service(args)
+
+    throughput = {}
+    results = []
+    for pass_index in range(max(args.repeat, 1)):
+        start = time.perf_counter()
+        results = []
+        for batch in microbatches(records, args.window, max_windows=args.max_batch_windows):
+            results.extend(service.select_batch(batch))
+        elapsed = time.perf_counter() - start
+        label = "pass 1 (cold)" if pass_index == 0 else f"pass {pass_index + 1} (warm)"
+        throughput[label] = len(records) / max(elapsed, 1e-9)
+
+    rows = [[r.series_name, r.selected_model, r.n_windows, "yes" if r.from_cache else "no"]
+            for r in results]
+    print(format_table(["Series", "Selected model", "Windows", "Cached"], rows))
+    print()
+    print(format_cache_stats(service.stats, throughput))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .reporting import format_cache_stats
+
+    service = _make_service(args)
+    for line in sys.stdin:
+        path = line.strip()
+        if not path:
+            continue
+        try:
+            record = load_series_file(Path(path))
+        except (OSError, ValueError) as error:
+            message = str(error) or type(error).__name__
+            if isinstance(error, FileNotFoundError):
+                message = f"no such file: {error}"
+            print(json.dumps({"series": path, "error": message}), flush=True)
+            continue
+        print(json.dumps(service.select(record).as_dict()), flush=True)
+    print(format_cache_stats(service.stats), file=sys.stderr)
+    return 0
+
+
 def _cmd_list_selectors(args: argparse.Namespace) -> int:
     store = SelectorStore(args.store)
     infos = store.list()
@@ -257,6 +349,8 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "select": _cmd_select,
     "detect": _cmd_detect,
+    "batch-select": _cmd_batch_select,
+    "serve": _cmd_serve,
     "list-selectors": _cmd_list_selectors,
 }
 

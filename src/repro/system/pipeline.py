@@ -36,6 +36,8 @@ class PipelineConfig:
     max_windows_per_series: Optional[int] = None
     cache_dir: Optional[Union[str, Path]] = None
     seed: int = 0
+    #: thread count for oracle labelling fan-out (0 = sequential)
+    max_workers: int = 0
 
 
 class ModelSelectionPipeline:
@@ -48,7 +50,8 @@ class ModelSelectionPipeline:
     ) -> None:
         self.config = config or PipelineConfig()
         self.model_set = model_set or make_default_model_set(window=self.config.detector_window, fast=True)
-        self.oracle = Oracle(self.model_set, metric=self.config.metric, cache_dir=self.config.cache_dir)
+        self.oracle = Oracle(self.model_set, metric=self.config.metric, cache_dir=self.config.cache_dir,
+                             max_workers=self.config.max_workers)
         self.selector: Optional[Selector] = None
         self.train_dataset: Optional[SelectorDataset] = None
 
@@ -152,6 +155,28 @@ class ModelSelectionPipeline:
             self.detector_names,
             window=self.config.window,
             aggregation=aggregation,
+        )
+
+    # ------------------------------------------------------------------ #
+    # serving hand-off
+    # ------------------------------------------------------------------ #
+    def as_service(self, **config_overrides):
+        """Wrap the trained selector in a batched, cached serving front end.
+
+        Returns a :class:`repro.serving.SelectionService` configured with
+        this pipeline's window settings; keyword arguments override fields
+        of :class:`repro.serving.ServingConfig` (e.g. ``cache_capacity``,
+        ``max_workers``).  The service produces selections bitwise identical
+        to :meth:`select_model`, but batched and cached.
+        """
+        from ..serving.service import SelectionService, ServingConfig
+
+        if self.selector is None:
+            raise RuntimeError("no trained selector; call train_selector() first")
+        config_overrides.setdefault("window", self.config.window)
+        config_overrides.setdefault("max_workers", self.config.max_workers)
+        return SelectionService(
+            self.selector, self.detector_names, ServingConfig(**config_overrides)
         )
 
     # ------------------------------------------------------------------ #

@@ -46,6 +46,26 @@ def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object
     return "\n".join(lines)
 
 
+def format_cache_stats(stats, throughput: Optional[Dict[str, float]] = None) -> str:
+    """Render serving-cache counters (and optional series/sec figures).
+
+    ``stats`` is a :class:`repro.serving.CacheStats`; ``throughput`` maps a
+    label (e.g. ``"cold batch"``) to a series-per-second rate.  Used by the
+    ``batch-select``/``serve`` CLI commands and the serving benchmark.
+    """
+    rows: List[List[object]] = [
+        ["cache lookups", stats.lookups],
+        ["cache hits", stats.hits],
+        ["cache misses", stats.misses],
+        ["hit rate", stats.hit_rate],
+        ["evictions", stats.evictions],
+        ["entries", f"{stats.size}/{stats.capacity}"],
+    ]
+    for label, rate in (throughput or {}).items():
+        rows.append([f"{label} throughput", f"{rate:.1f} series/s"])
+    return format_table(["counter", "value"], rows)
+
+
 def per_dataset_table(results: Dict[str, Dict[str, float]], datasets: Optional[List[str]] = None,
                       include_average: bool = True) -> str:
     """Format {method: {dataset: score}} as a dataset-by-method table.

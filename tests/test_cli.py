@@ -128,6 +128,35 @@ class TestTrainEvaluateDetect:
         assert len(scores) == 400
         assert "auc_pr" in capsys.readouterr().out
 
+    def test_batch_select_reports_throughput_and_cache(self, cli_workspace, trained_store, capsys):
+        assert main([
+            "batch-select", str(cli_workspace["data_dir"]),
+            "--store", str(trained_store), "--name", "mlp", "--window", "64",
+            "--repeat", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Selected model" in out
+        assert "cache hits" in out
+        assert "pass 2 (warm) throughput" in out
+
+    def test_serve_answers_json_lines_and_caches(self, cli_workspace, trained_store, capsys, monkeypatch):
+        import io
+
+        series_file = sorted(cli_workspace["data_dir"].glob("*.csv"))[0]
+        lines = f"{series_file}\n{series_file}\nnot/a/file.csv\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        assert main([
+            "serve",
+            "--store", str(trained_store), "--name", "mlp", "--window", "64",
+        ]) == 0
+        captured = capsys.readouterr()
+        answers = [json.loads(line) for line in captured.out.splitlines() if line.strip()]
+        assert len(answers) == 3
+        assert not answers[0]["cached"] and answers[1]["cached"]
+        assert answers[0]["selected_model"] == answers[1]["selected_model"]
+        assert "error" in answers[2]
+        assert "cache hits" in captured.err
+
     def test_list_selectors(self, trained_store, capsys):
         assert main(["list-selectors", "--store", str(trained_store)]) == 0
         assert "mlp" in capsys.readouterr().out

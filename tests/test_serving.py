@@ -1,0 +1,311 @@
+"""Tests for the batched, cached selection-serving layer (repro.serving)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import TrainerConfig
+from repro.data import build_selector_dataset, generate_series
+from repro.data.windows import extract_windows, extract_windows_batch, znormalize_windows
+from repro.detectors import make_detector
+from repro.eval import Oracle, predict_for_series
+from repro.ml.scalers import zscore
+from repro.selectors import make_selector
+from repro.data import count_windows
+from repro.serving import (
+    LRUCache,
+    SelectionService,
+    ServingConfig,
+    WorkerPool,
+    microbatches,
+    series_fingerprint,
+)
+from repro.system import ModelSelectionPipeline, PipelineConfig, compare_models
+
+
+class TestLRUCache:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache and len(cache) == 1
+
+    def test_miss_returns_none_and_counts(self):
+        cache = LRUCache(capacity=2)
+        assert cache.get("ghost") is None
+        stats = cache.stats
+        assert stats.misses == 1 and stats.hits == 0 and stats.lookups == 1
+        assert stats.hit_rate == 0.0
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a" → "b" becomes the oldest
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_stats_accounting_exact(self):
+        cache = LRUCache(capacity=8)
+        cache.put("x", 0)
+        for _ in range(3):
+            cache.get("x")
+        cache.get("y")
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.size) == (3, 1, 1)
+        assert stats.hit_rate == pytest.approx(0.75)
+
+    def test_clear_drops_entries_but_keeps_counters(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+
+class TestSeriesFingerprint:
+    def test_same_content_same_key(self):
+        a = np.arange(100, dtype=np.float64)
+        assert series_fingerprint(a) == series_fingerprint(a.copy())
+
+    def test_different_content_different_key(self):
+        a = np.arange(100, dtype=np.float64)
+        b = a.copy()
+        b[50] += 1e-9
+        assert series_fingerprint(a) != series_fingerprint(b)
+
+    def test_shape_and_dtype_matter(self):
+        a = np.zeros(64, dtype=np.float64)
+        assert series_fingerprint(a) != series_fingerprint(np.zeros(65))
+        assert series_fingerprint(a) != series_fingerprint(np.zeros(64, dtype=np.float32))
+
+    def test_extra_tokens_separate_configurations(self):
+        a = np.arange(32, dtype=np.float64)
+        assert series_fingerprint(a, extra=(96,)) != series_fingerprint(a, extra=(64,))
+
+
+class TestWorkerPool:
+    def test_sequential_fallback_runs_on_calling_thread(self):
+        pool = WorkerPool(max_workers=0)
+        threads = pool.map(lambda _: threading.current_thread(), range(5))
+        assert not pool.is_parallel
+        assert all(t is threading.main_thread() for t in threads)
+
+    def test_sequential_and_parallel_agree(self):
+        items = list(range(20))
+        sequential = WorkerPool(0).map(lambda x: x * x, items)
+        parallel = WorkerPool(4).map(lambda x: x * x, items)
+        assert sequential == parallel == [x * x for x in items]
+
+    def test_parallel_preserves_input_order(self):
+        import time
+
+        def slow_inverse(x):
+            time.sleep(0.002 * (5 - x))  # later items finish first
+            return x
+
+        assert WorkerPool(4).map(slow_inverse, range(5)) == list(range(5))
+
+    def test_starmap_unpacks_arguments(self):
+        assert WorkerPool(0).starmap(lambda a, b: a + b, [(1, 2), (3, 4)]) == [3, 7]
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(max_workers=-1)
+
+
+class TestBatchedWindowing:
+    def test_znormalize_matches_per_row_zscore(self, rng):
+        windows = rng.normal(size=(17, 64))
+        windows[3] = 2.5  # constant row
+        expected = np.apply_along_axis(zscore, 1, windows)
+        assert np.array_equal(znormalize_windows(windows), expected)
+
+    def test_batch_extraction_matches_per_series(self, rng):
+        series_list = [rng.normal(size=n) for n in (400, 37, 5, 256)]
+        stacked, offsets = extract_windows_batch(series_list, 64, stride=32)
+        per_series = [extract_windows(s, 64, stride=32) for s in series_list]
+        assert np.array_equal(stacked, np.vstack(per_series))
+        assert offsets.tolist() == np.cumsum([0] + [len(p) for p in per_series]).tolist()
+
+    def test_window_count_matches_extraction(self, rng):
+        for length in (5, 64, 100, 401):
+            series = rng.normal(size=length)
+            assert count_windows(length, 64, 32) == len(extract_windows(series, 64, stride=32))
+
+    def test_microbatches_respect_window_budget(self):
+        records = [generate_series("ECG", i, 400, seed=1) for i in range(6)]
+        per_record = count_windows(400, 64, 64)
+        batches = list(microbatches(records, 64, max_windows=2 * per_record))
+        assert [r.name for batch in batches for r in batch] == [r.name for r in records]
+        assert all(len(batch) <= 2 for batch in batches)
+
+    def test_microbatches_never_split_one_series(self):
+        record = generate_series("ECG", 0, 4000, seed=1)
+        batches = list(microbatches([record], 64, max_windows=1))
+        assert len(batches) == 1 and batches[0] == [record]
+
+
+@pytest.fixture(scope="module")
+def serving_world():
+    """A trained selector + labelled query series shared by the service tests."""
+    train_records = [generate_series(name, 0, 400, seed=4) for name in ("ECG", "IOPS", "MGAB", "SMD")]
+    detector_names = ["IForest", "HBOS", "MP", "POLY"]
+    gen = np.random.default_rng(9)
+    matrix = gen.uniform(0.05, 0.4, size=(len(train_records), len(detector_names)))
+    matrix[np.arange(len(train_records)), np.arange(len(train_records))] += 0.5
+    dataset = build_selector_dataset(train_records, matrix, detector_names, window=64, stride=64)
+
+    selector = make_selector("MLP", window=64, n_classes=4, hidden=16, feature_dim=8, seed=0)
+    selector.fit(dataset, config=TrainerConfig(epochs=2, batch_size=32))
+
+    queries = [generate_series(name, 3, 500, seed=6) for name in ("ECG", "IOPS", "MGAB", "SMD", "NAB")]
+    return {"selector": selector, "detector_names": detector_names, "queries": queries}
+
+
+def _fresh_service(world, **overrides) -> SelectionService:
+    overrides.setdefault("window", 64)
+    return SelectionService(world["selector"], world["detector_names"], ServingConfig(**overrides))
+
+
+class TestSelectionService:
+    def test_batch_matches_sequential_bitwise(self, serving_world):
+        service = _fresh_service(serving_world)
+        results = service.select_batch(serving_world["queries"])
+        for record, result in zip(serving_world["queries"], results):
+            choice, aggregated = predict_for_series(serving_world["selector"], record, 64)
+            assert result.selected_index == choice
+            assert result.selected_model == serving_world["detector_names"][choice]
+            assert list(result.votes.values()) == [float(v) for v in aggregated]
+            assert not result.from_cache
+
+    def test_second_pass_is_served_from_cache(self, serving_world):
+        service = _fresh_service(serving_world)
+        cold = service.select_batch(serving_world["queries"])
+        warm = service.select_batch(serving_world["queries"])
+        assert all(r.from_cache for r in warm)
+        assert all(not r.from_cache for r in cold)
+        assert [(r.selected_index, r.votes) for r in warm] == \
+               [(r.selected_index, r.votes) for r in cold]
+        stats = service.stats
+        n = len(serving_world["queries"])
+        assert (stats.hits, stats.misses) == (n, n)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_duplicates_in_one_batch_computed_once(self, serving_world):
+        service = _fresh_service(serving_world)
+        record = serving_world["queries"][0]
+        twin = generate_series("ECG", 3, 500, seed=6)  # same bytes, fresh object
+        results = service.select_batch([record, twin])
+        assert results[0].votes == results[1].votes
+        assert not results[0].from_cache and not results[1].from_cache
+        stats = service.stats
+        assert (stats.hits, stats.misses, stats.size) == (0, 1, 1)
+
+    def test_caller_mutating_votes_cannot_poison_cache(self, serving_world):
+        service = _fresh_service(serving_world)
+        record = serving_world["queries"][0]
+        first = service.select(record)
+        expected = dict(first.votes)
+        first.votes.clear()  # a hostile/careless caller mutates its result
+        second = service.select(record)
+        assert second.from_cache and second.votes == expected
+        second.votes["IForest"] = 99.0
+        assert service.select(record).votes == expected
+
+    def test_select_single_uses_same_path(self, serving_world):
+        service = _fresh_service(serving_world)
+        record = serving_world["queries"][0]
+        first = service.select(record)
+        second = service.select(record)
+        assert not first.from_cache and second.from_cache
+        assert first.votes == second.votes
+
+    def test_cache_capacity_bounds_entries(self, serving_world):
+        service = _fresh_service(serving_world, cache_capacity=2)
+        service.select_batch(serving_world["queries"])
+        stats = service.stats
+        assert stats.size == 2
+        assert stats.evictions == len(serving_world["queries"]) - 2
+
+    def test_config_changes_cache_key(self, serving_world):
+        vote = _fresh_service(serving_world)
+        record = serving_world["queries"][0]
+        key_vote = vote.fingerprint(record)
+        mean = _fresh_service(serving_world, aggregation="mean")
+        assert key_vote != mean.fingerprint(record)
+
+    def test_as_dict_is_json_ready(self, serving_world):
+        import json
+
+        service = _fresh_service(serving_world)
+        payload = service.select(serving_world["queries"][0]).as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["selected_model"] in serving_world["detector_names"]
+
+    def test_detect_batch_sequential_and_parallel_agree(self, serving_world):
+        model_set = {name: make_detector(name, window=16)
+                     for name in serving_world["detector_names"]}
+        records = serving_world["queries"][:3]
+        sequential = _fresh_service(serving_world, max_workers=0).detect_batch(records, model_set)
+        parallel = _fresh_service(serving_world, max_workers=3).detect_batch(records, model_set)
+        for (sel_a, det_a), (sel_b, det_b) in zip(sequential, parallel):
+            assert sel_a.selected_model == sel_b.selected_model
+            assert det_a.detector_name == det_b.detector_name
+            assert np.array_equal(det_a.scores, det_b.scores)
+
+    def test_pipeline_as_service_matches_select_model(self):
+        model_set = {name: make_detector(name, window=16) for name in ("IForest", "HBOS")}
+        pipeline = ModelSelectionPipeline(
+            model_set=model_set,
+            config=PipelineConfig(window=64, stride=64, detector_window=16, seed=0),
+        )
+        records = [generate_series(name, 0, 400, seed=4) for name in ("ECG", "SMD")]
+        pipeline.prepare_training_data(records)
+        pipeline.train_selector("KNN")
+
+        service = pipeline.as_service(cache_capacity=16)
+        for record in records:
+            expected = pipeline.select_model(record)
+            result = service.select(record)
+            assert result.selected_model == expected["selected_model"]
+            assert result.votes == expected["votes"]
+
+    def test_as_service_requires_trained_selector(self):
+        pipeline = ModelSelectionPipeline(model_set={"HBOS": make_detector("HBOS")})
+        with pytest.raises(RuntimeError):
+            pipeline.as_service()
+
+
+class TestWorkerFanOut:
+    def test_oracle_parallel_matches_sequential(self):
+        records = [generate_series(name, 0, 300, seed=2) for name in ("ECG", "NAB", "SMD")]
+        model_set = {name: make_detector(name, window=16) for name in ("HBOS", "POLY")}
+        sequential = Oracle(model_set, max_workers=0).performance_matrix(records)
+        parallel = Oracle(model_set, max_workers=3).performance_matrix(records)
+        assert np.array_equal(sequential, parallel)
+
+    def test_oracle_parallel_is_deterministic_with_nn_detectors(self):
+        """Regression: NN detectors build models inside score(); the init RNG
+        and grad flag are thread-local, so fan-out must stay bitwise equal."""
+        records = [generate_series(name, 0, 300, seed=2) for name in ("ECG", "NAB", "SMD")]
+        model_set = {"AE": make_detector("AE", window=16), "CNN": make_detector("CNN", window=16)}
+        sequential = Oracle(model_set, max_workers=0).performance_matrix(records)
+        parallel = Oracle(model_set, max_workers=3).performance_matrix(records)
+        assert np.array_equal(sequential, parallel)
+
+    def test_compare_models_parallel_matches_sequential(self):
+        record = generate_series("IOPS", 0, 300, seed=2)
+        model_set = {name: make_detector(name, window=16) for name in ("HBOS", "POLY", "MP")}
+        sequential = compare_models(record, model_set)
+        parallel = compare_models(record, model_set, max_workers=3)
+        assert list(sequential) == list(parallel)
+        for name in sequential:
+            assert np.array_equal(sequential[name].scores, parallel[name].scores)

@@ -53,6 +53,17 @@ class TestAnomalyDetectionRunner:
         assert "auc_pr" in result.metrics
         assert result.auc_pr == result.metrics["auc_pr"]
 
+    def test_run_detection_unlabeled_series_has_no_metrics(self):
+        from repro.data import TimeSeriesRecord
+
+        record = TimeSeriesRecord(name="unlabeled", dataset="ECG",
+                                  series=np.sin(np.linspace(0, 20, 300)),
+                                  labels=np.zeros(300, dtype=int))
+        result = run_detection(record, make_detector("HBOS", window=16))
+        assert result.metrics == {}
+        assert np.isnan(result.auc_pr)
+        assert result.scores.shape == record.series.shape
+
     def test_compare_models_subset(self):
         record = generate_series("NAB", 0, 400, seed=2)
         model_set = {"HBOS": make_detector("HBOS", window=16), "POLY": make_detector("POLY", window=16)}

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Documentation checks — the ``docs-check`` target of the Makefile.
+
+Fails (exit code 1) when:
+
+* a public module under ``src/repro`` lacks a module docstring,
+* a required documentation file (``README.md``, ``docs/architecture.md``,
+  ``docs/cli.md``) is missing, or
+* a relative Markdown link in ``README.md`` / ``docs/*.md`` points at a
+  file that does not exist.
+
+Run as ``python tools/docs_check.py`` from the repository root (no imports
+from the package, so it needs no ``PYTHONPATH``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+
+REQUIRED_DOCS = ["README.md", "docs/architecture.md", "docs/cli.md"]
+
+#: Matches inline Markdown links; group 1 is the target.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def missing_module_docstrings(package_root: Path = ROOT / "src" / "repro") -> List[str]:
+    """Public modules (no leading underscore anywhere in the path) without a docstring."""
+    problems = []
+    for path in sorted(package_root.rglob("*.py")):
+        rel = path.relative_to(ROOT)
+        parts = rel.parts
+        if any(part.startswith("_") and part != "__init__.py" for part in parts):
+            continue  # private module or private sub-package
+        tree = ast.parse(path.read_text(), filename=str(rel))
+        if ast.get_docstring(tree) is None:
+            problems.append(str(rel))
+    return problems
+
+
+def broken_markdown_links(doc_files: List[Path]) -> List[str]:
+    """Relative links whose target file does not exist (anchors/URLs skipped)."""
+    problems = []
+    for doc in doc_files:
+        for target in _LINK_RE.findall(doc.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (doc.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(f"{doc.relative_to(ROOT)} -> {target}")
+    return problems
+
+
+def run_checks() -> List[str]:
+    """Return every problem found (empty list = documentation is healthy)."""
+    problems = []
+    problems += [f"missing module docstring: {m}" for m in missing_module_docstrings()]
+
+    doc_files = []
+    for name in REQUIRED_DOCS:
+        path = ROOT / name
+        if path.exists():
+            doc_files.append(path)
+        else:
+            problems.append(f"missing documentation file: {name}")
+    for extra in sorted((ROOT / "docs").glob("*.md")) if (ROOT / "docs").exists() else []:
+        if extra not in doc_files:
+            doc_files.append(extra)
+
+    problems += [f"broken link: {b}" for b in broken_markdown_links(doc_files)]
+    return problems
+
+
+def main() -> int:
+    problems = run_checks()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s)")
+        return 1
+    print("docs-check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
