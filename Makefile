@@ -1,23 +1,27 @@
 # Developer entry points. Run from the repository root.
 #
 #   make test        - tier-1 test suite (the gate every PR must keep green)
-#   make bench-smoke - fast serving-throughput benchmark (asserts >= 5x warm cache)
+#   make bench-smoke - fast serving + streaming benchmarks (assert >= 5x speedups)
 #   make bench       - every paper-table benchmark (slow: trains many selectors)
+#   make stream-demo - run the streaming quickstart example end to end
 #   make docs-check  - docstring + documentation-link checks
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-smoke bench docs-check
+.PHONY: test bench-smoke bench stream-demo docs-check
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 bench-smoke:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q benchmarks/bench_serving_throughput.py
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q benchmarks/bench_serving_throughput.py benchmarks/bench_streaming_throughput.py
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q benchmarks/
+
+stream-demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/streaming_quickstart.py
 
 docs-check:
 	$(PYTHON) tools/docs_check.py

@@ -1,0 +1,186 @@
+"""Streaming throughput — incremental vs from-scratch selection on live ticks.
+
+The streaming engine (``repro.streaming``) turns the one-shot pipeline into
+an incremental loop: per tick it windows only the new points, runs the
+selector forward pass only over the newly complete windows, and extends the
+running vote — where the from-scratch alternative re-windows and
+re-classifies the entire prefix on every tick.  This benchmark replays the
+same multi-stream tick sequence through both:
+
+* **from-scratch** — per tick and stream, ``predict_for_series`` over the
+  whole prefix so far (the pre-streaming baseline),
+* **incremental** — the same ticks through ``StreamEngine`` (incremental
+  windowing + cross-stream batched forward over new windows only).
+
+Acceptance (checked by assertions):
+
+* at steady state (the second half of the replay, where prefixes are long)
+  incremental selection is **>= 5x** faster per tick than from-scratch
+  re-selection,
+* the final streaming selections are **bitwise identical** to the batch
+  pipeline on the same final series (same selected model, same aggregated
+  vote vector), and
+* streaming per-point anomaly scores (incremental tail re-scoring for
+  local detectors, full re-runs for global ones) are **bitwise identical**
+  to running the selected detector on the final series.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import TrainerConfig
+from repro.data import build_selector_dataset, generate_series
+from repro.data.records import DATASET_NAMES
+from repro.detectors import make_detector
+from repro.eval import predict_for_series
+from repro.selectors import make_selector
+from repro.streaming import StreamEngine, StreamingConfig, replay_records
+from repro.system.reporting import format_table
+
+#: Benchmark scale (small enough for CPU laptops; raise for stress runs).
+STREAMING_SCALE = {
+    "n_train_series": 8,
+    "n_streams": 4,
+    "train_length": 800,
+    "stream_length": 2048,
+    "window": 96,
+    "chunk": 64,
+    "epochs": 2,
+    "seed": 0,
+}
+
+#: The acceptance threshold: steady-state incremental vs from-scratch per tick.
+MIN_STEADY_STATE_SPEEDUP = 5.0
+
+
+def _build_selector(scale):
+    """Train a small ResNet selector on synthetic oracle knowledge."""
+    names = DATASET_NAMES[: scale["n_train_series"]]
+    train_records = [generate_series(name, 0, scale["train_length"], seed=scale["seed"])
+                     for name in names]
+    detector_names = ["IForest", "HBOS", "MP", "POLY"]
+    gen = np.random.default_rng(scale["seed"] + 1)
+    matrix = gen.uniform(0.05, 0.4, size=(len(train_records), len(detector_names)))
+    matrix[np.arange(len(train_records)), np.arange(len(train_records)) % len(detector_names)] += 0.5
+
+    dataset = build_selector_dataset(train_records, matrix, detector_names,
+                                     window=scale["window"], stride=scale["window"],
+                                     seed=scale["seed"])
+    selector = make_selector("ResNet", window=scale["window"], n_classes=dataset.n_classes,
+                             mid_channels=12, num_layers=2, seed=scale["seed"])
+    selector.fit(dataset, config=TrainerConfig(epochs=scale["epochs"], batch_size=64,
+                                               seed=scale["seed"]))
+    return selector, detector_names
+
+
+def _stream_records(scale):
+    families = DATASET_NAMES[: scale["n_streams"]]
+    return [generate_series(families[i % len(families)], i, scale["stream_length"],
+                            seed=scale["seed"] + 2)
+            for i in range(scale["n_streams"])]
+
+
+def run_streaming_benchmark(scale=None):
+    """Time both regimes on identical ticks; returns times, speedups, stats."""
+    scale = dict(STREAMING_SCALE, **(scale or {}))
+    selector, detector_names = _build_selector(scale)
+    records = _stream_records(scale)
+    window, chunk = scale["window"], scale["chunk"]
+    n_ticks = -(-scale["stream_length"] // chunk)  # ticks per stream
+
+    # From-scratch: per tick, re-window + re-classify the whole prefix.
+    scratch_tick_times = []
+    for tick in range(1, n_ticks + 1):
+        start = time.perf_counter()
+        for record in records:
+            prefix = record.series[: tick * chunk]
+            predict_for_series(selector, type(record)(
+                name=record.name, dataset=record.dataset,
+                series=prefix, labels=record.labels[: len(prefix)],
+            ), window)
+        scratch_tick_times.append(time.perf_counter() - start)
+
+    # Incremental: the same ticks through the streaming engine.
+    engine = StreamEngine(selector, detector_names, StreamingConfig(window=window))
+    incremental_tick_times = []
+    final_updates = {}
+    previous = time.perf_counter()
+    for updates in replay_records(engine, records, chunk=chunk):
+        now = time.perf_counter()
+        incremental_tick_times.append(now - previous)
+        previous = now
+        final_updates.update(updates)
+
+    # --- equivalence: streaming selections == batch pipeline, bitwise ----- #
+    for record in records:
+        update = final_updates[record.name]
+        choice, aggregated = predict_for_series(selector, record, window)
+        assert update.selected_index == choice, f"streaming != batch on {record.name}"
+        assert update.selected_model == detector_names[choice]
+        assert list(update.votes.values()) == [float(v) for v in aggregated], \
+            f"vote vector differs on {record.name}"
+
+    # --- equivalence: streaming scores == running the detector in batch --- #
+    model_set = {name: make_detector(name, window=16) for name in detector_names}
+    scoring_engine = StreamEngine(selector, detector_names,
+                                  StreamingConfig(window=window), model_set=model_set)
+    short = [type(r)(name=r.name, dataset=r.dataset, series=r.series[:512],
+                     labels=r.labels[:512]) for r in records[:2]]
+    for _ in replay_records(scoring_engine, short, chunk=chunk):
+        pass
+    for record in short:
+        update = scoring_engine.selection(record.name)
+        detector = model_set[detector_names[update.selected_index]]
+        streaming_scores = scoring_engine.scores(record.name)
+        assert len(streaming_scores) == len(record.series)
+        assert np.array_equal(streaming_scores, detector.detect(record.series)), \
+            f"streaming scores != batch detection on {record.name}"
+
+    # Steady state: the second half of the replay, where prefixes are long.
+    half = len(scratch_tick_times) // 2
+    scratch_steady = sum(scratch_tick_times[half:])
+    incremental_steady = sum(incremental_tick_times[half:])
+    return {
+        "n_streams": len(records),
+        "n_ticks": len(scratch_tick_times),
+        "scratch_time": sum(scratch_tick_times),
+        "incremental_time": sum(incremental_tick_times),
+        "total_speedup": sum(scratch_tick_times) / sum(incremental_tick_times),
+        "steady_state_speedup": scratch_steady / incremental_steady,
+        "stats": engine.stats,
+    }
+
+
+@pytest.mark.benchmark(group="streaming-throughput")
+def test_streaming_throughput(benchmark):
+    """Steady-state incremental selection must beat from-scratch by >= 5x."""
+    out = benchmark.pedantic(run_streaming_benchmark, rounds=1, iterations=1)
+
+    stats = out["stats"]
+    rows = [
+        ["streams x ticks", f"{out['n_streams']} x {out['n_ticks']}"],
+        ["from-scratch total", f"{out['scratch_time']:.3f} s"],
+        ["incremental total", f"{out['incremental_time']:.3f} s"],
+        ["total speedup", f"{out['total_speedup']:.1f}x"],
+        ["steady-state speedup", f"{out['steady_state_speedup']:.1f}x"],
+        ["windows emitted", stats.windows],
+        ["forward-pass windows", stats.forward_windows],
+    ]
+    print()
+    print(format_table(["measure", "value"], rows))
+
+    assert out["steady_state_speedup"] >= MIN_STEADY_STATE_SPEEDUP, (
+        f"incremental selection only {out['steady_state_speedup']:.1f}x faster than "
+        f"from-scratch at steady state (need >= {MIN_STEADY_STATE_SPEEDUP}x)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual smoke entry point
+    out = run_streaming_benchmark()
+    print(f"total speedup:        {out['total_speedup']:.1f}x")
+    print(f"steady-state speedup: {out['steady_state_speedup']:.1f}x "
+          f"(threshold {MIN_STEADY_STATE_SPEEDUP}x)")

@@ -24,7 +24,9 @@ from .records import (
 from .windows import (
     SelectorDataset,
     build_selector_dataset,
+    complete_window_count,
     count_windows,
+    extract_new_windows,
     extract_windows,
     extract_windows_batch,
     znormalize_windows,
@@ -37,6 +39,6 @@ __all__ = [
     "labels_to_spans", "load_series_directory", "load_series_file", "save_series_file",
     "describe_record", "describe_subsequence",
     "DATASET_DESCRIPTIONS", "DATASET_NAMES", "TEST_DATASET_NAMES", "TimeSeriesRecord",
-    "SelectorDataset", "build_selector_dataset", "count_windows",
-    "extract_windows", "extract_windows_batch", "znormalize_windows",
+    "SelectorDataset", "build_selector_dataset", "complete_window_count", "count_windows",
+    "extract_new_windows", "extract_windows", "extract_windows_batch", "znormalize_windows",
 ]

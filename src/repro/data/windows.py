@@ -66,6 +66,53 @@ def count_windows(length: int, window: int, stride: Optional[int] = None) -> int
     return (max(length, window) - window) // stride + 1
 
 
+def complete_window_count(length: int, window: int, stride: Optional[int] = None) -> int:
+    """Number of *complete* (un-padded) windows in a series of ``length``.
+
+    Unlike :func:`count_windows`, a series shorter than ``window`` yields
+    zero: no padded window is invented.  This is the window arithmetic of
+    the streaming layer, where a partial tail must stay pending until enough
+    points arrive rather than being padded to a fake window whose content
+    would change on every append.  For ``length >= window`` the two counts
+    agree.
+    """
+    stride = stride or window
+    if length < window:
+        return 0
+    return (length - window) // stride + 1
+
+
+def extract_new_windows(
+    series: np.ndarray,
+    window: int,
+    n_emitted: int,
+    stride: Optional[int] = None,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Windows ``n_emitted, n_emitted + 1, ...`` of a growing series.
+
+    This is the incremental companion of :func:`extract_windows`: a stream
+    that has already emitted the first ``n_emitted`` complete windows calls
+    this after appending points to obtain exactly the windows that newly
+    became complete (possibly none — shape ``(0, window)``).
+
+    Because :func:`znormalize_windows` reduces every row independently, the
+    returned rows are bitwise identical to rows ``n_emitted:`` of
+    ``extract_windows(series, window, stride)`` — incremental extraction can
+    never drift from batch extraction.
+    """
+    series = np.asarray(series, dtype=np.float64).ravel()
+    stride = stride or window
+    total = complete_window_count(len(series), window, stride)
+    if total <= n_emitted:
+        return np.empty((0, window), dtype=np.float64)
+    starts = stride * np.arange(n_emitted, total)
+    windows = series[starts[:, None] + np.arange(window)[None, :]]
+    if normalize:
+        windows = znormalize_windows(windows)
+    return windows
+
+
 def extract_windows(series: np.ndarray, window: int, stride: Optional[int] = None,
                     normalize: bool = True) -> np.ndarray:
     """Cut a series into (possibly overlapping) fixed-length windows.

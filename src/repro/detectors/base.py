@@ -27,19 +27,46 @@ def sliding_windows(series: np.ndarray, window: int, stride: int = 1) -> np.ndar
     return series[idx]
 
 
+#: Window block size for the scatter-add in ``window_scores_to_point_scores``
+#: — bounds the (block, window) index buffer instead of materialising one
+#: row per window for the whole series.
+_POINT_SCORE_BLOCK = 4096
+
+
 def window_scores_to_point_scores(
     window_scores: np.ndarray,
     series_length: int,
     window: int,
     stride: int = 1,
 ) -> np.ndarray:
-    """Spread per-window scores back onto points by averaging overlaps."""
-    scores = np.zeros(series_length, dtype=np.float64)
-    counts = np.zeros(series_length, dtype=np.float64)
-    for i, s in enumerate(np.asarray(window_scores, dtype=np.float64)):
-        start = i * stride
-        scores[start:start + window] += s
-        counts[start:start + window] += 1.0
+    """Spread per-window scores back onto points by averaging overlaps.
+
+    Vectorised: window scores are scattered onto their covered points with
+    ``np.add.at`` (in blocks, so peak memory stays bounded) and the overlap
+    counts come from closed-form index arithmetic.  Both accumulate exactly
+    the values the historical per-window Python loop added, in the same
+    ascending-window order per point, so results are bitwise identical.
+    """
+    window_scores = np.asarray(window_scores, dtype=np.float64)
+    n = len(window_scores)
+    # Scatter into a buffer long enough for every window (windows may extend
+    # past series_length — the old loop's slice assignment clamped them);
+    # the overhang is truncated at the end.
+    span = (n - 1) * stride + window if n else 0
+    scores = np.zeros(max(series_length, span), dtype=np.float64)
+    offsets = np.arange(window)[None, :]
+    for block_start in range(0, n, _POINT_SCORE_BLOCK):
+        block = slice(block_start, min(block_start + _POINT_SCORE_BLOCK, n))
+        idx = stride * np.arange(block.start, block.stop)[:, None] + offsets
+        np.add.at(scores, idx, window_scores[block, None])
+    scores = scores[:series_length]
+
+    # A point p is covered by windows s with s*stride <= p <= s*stride+window-1,
+    # i.e. s in [ceil((p-window+1)/stride), floor(p/stride)] ∩ [0, n-1].
+    p = np.arange(series_length)
+    lo = np.maximum(-((window - 1 - p) // stride), 0)
+    hi = np.minimum(p // stride, n - 1)
+    counts = np.maximum(hi - lo + 1, 0).astype(np.float64)
     counts[counts == 0] = 1.0
     return scores / counts
 
@@ -58,6 +85,14 @@ class AnomalyDetector(ABC):
 
     #: registry name (filled by :func:`register_detector`)
     name: str = "base"
+
+    #: True when ``score()`` is *windowed-local*: every raw point score is
+    #: the overlap average of per-window scores, and each window's score
+    #: depends only on that window's values (no statistics over the whole
+    #: series).  Local detectors can be re-scored incrementally on a stream
+    #: (:class:`repro.streaming.OnlineScorer` recomputes only the tail);
+    #: global detectors need a full re-run when the series grows.
+    locally_scored: bool = False
 
     def __init__(self, window: int = 32) -> None:
         self.window = window

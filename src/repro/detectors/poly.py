@@ -6,6 +6,28 @@ import numpy as np
 
 from .base import AnomalyDetector, register_detector, sliding_windows, window_scores_to_point_scores
 
+#: Rows per block of the projection below — bounds the (block, window, window)
+#: broadcast buffer; any block size yields the same bits (rows are reduced
+#: independently).
+_PROJECT_BLOCK = 2048
+
+
+def _apply_projector_rowwise(subs: np.ndarray, projector: np.ndarray) -> np.ndarray:
+    """Apply ``projector`` to every row of ``subs``, row-independently.
+
+    Equivalent to ``subs @ projector.T`` in exact arithmetic, but computed
+    as a broadcasted multiply with a per-row reduction: each output row's
+    bits depend only on that row's values, never on how many other rows sit
+    in the batch.  BLAS GEMM does not give that guarantee (its blocking
+    changes with the matrix shape, shifting results by an ulp), and the
+    streaming layer's exact tail re-scoring relies on it.
+    """
+    out = np.empty_like(subs)
+    for start in range(0, len(subs), _PROJECT_BLOCK):
+        block = subs[start:start + _PROJECT_BLOCK]
+        out[start:start + len(block)] = (block[:, None, :] * projector[None, :, :]).sum(axis=2)
+    return out
+
 
 @register_detector("POLY")
 class PolyDetector(AnomalyDetector):
@@ -14,7 +36,14 @@ class PolyDetector(AnomalyDetector):
     A point covered by subsequences that deviate strongly from their own
     smooth polynomial approximation is likely to be anomalous (spikes,
     dropouts, abrupt level shifts).
+
+    Each window's residual depends only on that window's values (the
+    projector is fixed by window size and degree, and it is applied
+    row-independently), so the detector is windowed-local and supports
+    exact incremental tail re-scoring on streams.
     """
+
+    locally_scored = True
 
     def __init__(self, window: int = 32, degree: int = 3) -> None:
         super().__init__(window)
@@ -30,6 +59,6 @@ class PolyDetector(AnomalyDetector):
         vandermonde = np.vander(t, degree + 1, increasing=True)  # (window, degree+1)
         # Projection onto the polynomial space: H = V (V^T V)^-1 V^T.
         projector = vandermonde @ np.linalg.pinv(vandermonde)
-        residuals = subs - subs @ projector.T
+        residuals = subs - _apply_projector_rowwise(subs, projector)
         window_scores = (residuals ** 2).mean(axis=1)
         return window_scores_to_point_scores(window_scores, len(series), window)

@@ -12,6 +12,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .init import get_rng
 from .tensor import Tensor
 
 
@@ -136,10 +137,17 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
-    """Inverted dropout: scales kept activations by 1/(1-p) during training."""
+    """Inverted dropout: scales kept activations by 1/(1-p) during training.
+
+    Without an explicit ``rng`` the mask is drawn from the thread-local
+    initialisation RNG (:func:`repro.nn.init.get_rng`), the same seeded
+    stream every other random draw in the substrate uses — an unseeded
+    fallback here would silently break run-to-run reproducibility.
+    """
     if not training or p <= 0.0:
         return x
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = get_rng()
     mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
     return x * Tensor(mask)
 

@@ -13,7 +13,7 @@ labelling, per-series detection) can run on a worker pool.
 See ``docs/architecture.md`` for the batching/caching semantics.
 """
 
-from .batching import microbatches
+from .batching import microbatches, window_budget_groups
 from .cache import CacheStats, LRUCache, series_fingerprint
 from .service import SelectionResult, SelectionService, ServingConfig
 from .workers import WorkerPool
@@ -21,5 +21,5 @@ from .workers import WorkerPool
 __all__ = [
     "CacheStats", "LRUCache", "series_fingerprint",
     "SelectionResult", "SelectionService", "ServingConfig",
-    "WorkerPool", "microbatches",
+    "WorkerPool", "microbatches", "window_budget_groups",
 ]

@@ -15,6 +15,33 @@ from ..data.records import TimeSeriesRecord
 from ..data.windows import count_windows
 
 
+def window_budget_groups(counts: Sequence[int], max_windows: int) -> List[List[int]]:
+    """Group item indices so each group's window total stays within budget.
+
+    ``counts[i]`` is the number of windows item ``i`` contributes.  Item
+    order is preserved and groups are contiguous; an item alone larger than
+    the budget still forms its own group (it cannot be split without
+    changing results).  Items contributing zero windows ride along with
+    their neighbours.  This is the shared budgeting rule of directory-sweep
+    micro-batching and the stream engine's cross-stream forward batching.
+    """
+    if max_windows < 1:
+        raise ValueError("max_windows must be >= 1")
+    groups: List[List[int]] = []
+    group: List[int] = []
+    group_windows = 0
+    for i, n in enumerate(counts):
+        if group and group_windows + n > max_windows:
+            groups.append(group)
+            group = []
+            group_windows = 0
+        group.append(i)
+        group_windows += n
+    if group:
+        groups.append(group)
+    return groups
+
+
 def microbatches(
     records: Sequence[TimeSeriesRecord],
     window: int,
@@ -26,17 +53,6 @@ def microbatches(
     Record order is preserved; a single series larger than the budget still
     forms its own batch (it cannot be split without changing results).
     """
-    if max_windows < 1:
-        raise ValueError("max_windows must be >= 1")
-    batch: List[TimeSeriesRecord] = []
-    batch_windows = 0
-    for record in records:
-        n = count_windows(record.length, window, stride)
-        if batch and batch_windows + n > max_windows:
-            yield batch
-            batch = []
-            batch_windows = 0
-        batch.append(record)
-        batch_windows += n
-    if batch:
-        yield batch
+    counts = [count_windows(record.length, window, stride) for record in records]
+    for group in window_budget_groups(counts, max_windows):
+        yield [records[i] for i in group]

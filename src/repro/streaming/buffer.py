@@ -1,0 +1,116 @@
+"""Append-only stream storage with incremental window extraction.
+
+A live series grows one tick at a time, but the selector consumes complete
+fixed-length windows.  :class:`StreamBuffer` owns that boundary: it stores
+the raw points of one stream (amortised-O(1) append into a doubling array)
+and, on every append, yields exactly the windows that newly became complete
+— via :func:`repro.data.windows.extract_new_windows`, so the emitted rows
+are bitwise identical to what batch extraction over the final series would
+produce.  A partial tail (fewer than ``window`` unconsumed points past the
+last complete window) simply stays pending until enough points arrive; no
+padded pseudo-window is ever emitted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.windows import complete_window_count, extract_new_windows
+
+
+class GrowingArray:
+    """A 1-D float64 array with amortised-O(1) append (doubling capacity)."""
+
+    def __init__(self, initial_capacity: int = 1024) -> None:
+        if initial_capacity < 1:
+            raise ValueError("initial_capacity must be >= 1")
+        self._data = np.empty(initial_capacity, dtype=np.float64)
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def append(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        needed = self._length + len(values)
+        if needed > len(self._data):
+            capacity = len(self._data)
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=np.float64)
+            grown[: self._length] = self._data[: self._length]
+            self._data = grown
+        self._data[self._length:needed] = values
+        self._length = needed
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the filled prefix (no copy)."""
+        view = self._data[: self._length]
+        view.flags.writeable = False
+        return view
+
+
+class StreamBuffer:
+    """One live stream: raw points in, newly complete selector windows out."""
+
+    def __init__(self, window: int, stride: Optional[int] = None,
+                 normalize: bool = True) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.stride = stride or window
+        self.normalize = normalize
+        self._points = GrowingArray(max(1024, 2 * window))
+        self._n_emitted = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def length(self) -> int:
+        """Number of points received so far."""
+        return len(self._points)
+
+    @property
+    def series(self) -> np.ndarray:
+        """The full series received so far (read-only view)."""
+        return self._points.values
+
+    @property
+    def n_windows(self) -> int:
+        """Number of complete windows emitted so far."""
+        return self._n_emitted
+
+    def pending_windows(self) -> int:
+        """Complete windows that exist but have not been emitted yet."""
+        return complete_window_count(self.length, self.window, self.stride) - self._n_emitted
+
+    # ------------------------------------------------------------------ #
+    def extend(self, values: np.ndarray) -> None:
+        """Append points without emitting (the engine's staging step)."""
+        self._points.append(values)
+
+    def take_new_windows(self) -> np.ndarray:
+        """Emit every window that became complete since the last call.
+
+        Returns a (k, window) matrix (k may be 0).  The rows are bitwise
+        identical to rows ``n_windows:`` of ``extract_windows`` over the
+        current series, and each window is emitted exactly once over the
+        stream's lifetime.
+        """
+        windows = extract_new_windows(
+            self.series, self.window, self._n_emitted,
+            stride=self.stride, normalize=self.normalize,
+        )
+        self._n_emitted += len(windows)
+        return windows
+
+    def append(self, values: np.ndarray) -> np.ndarray:
+        """Append points and return the windows that became complete."""
+        self.extend(values)
+        return self.take_new_windows()
+
+    def __repr__(self) -> str:
+        return (f"StreamBuffer(length={self.length}, windows={self.n_windows}, "
+                f"window={self.window}, stride={self.stride})")

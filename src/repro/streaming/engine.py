@@ -1,0 +1,325 @@
+"""The stream engine: many live series, one incremental execution loop.
+
+:class:`StreamEngine` multiplexes the streaming components over any number
+of concurrent named streams.  Appends are *staged* per stream and processed
+together by :meth:`flush`:
+
+1. every stream's newly complete windows are collected
+   (:class:`StreamBuffer` — incremental windowing),
+2. streams are packed into window-budgeted groups
+   (:func:`repro.serving.batching.window_budget_groups`, the same budget
+   rule the serving layer's micro-batching uses) and each group takes **one
+   selector forward pass** (:class:`StreamingSelector`, which also consults
+   the window-probability LRU),
+3. per-stream running votes, drift monitors and online scorers are updated;
+   detector re-selection (drift) swaps the stream's scorer.
+
+Scorer updates fan out on a :class:`repro.serving.workers.WorkerPool` when
+``max_workers >= 2`` — per-stream detection work is independent.
+
+The result of a flush is one :class:`StreamUpdate` per touched stream: the
+running selection (bitwise identical to the batch pipeline on the same
+prefix, as long as no drift re-selection has narrowed the vote), change and
+drift flags, and bookkeeping counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.inference import DEFAULT_PREDICT_BATCH_SIZE
+from ..detectors.base import AnomalyDetector
+from ..selectors.base import Selector
+from ..serving.batching import window_budget_groups
+from ..serving.cache import CacheStats
+from ..serving.workers import WorkerPool
+from .buffer import StreamBuffer
+from .drift import DriftConfig, DriftMonitor
+from .scorer import OnlineScorer
+from .selector import SelectionView, StreamingSelector, StreamVoteState
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Knobs of the stream engine (windowing, batching, drift, scoring)."""
+
+    #: selector input window length (must match how the selector was trained)
+    window: int = 96
+    #: window stride; ``None`` means non-overlapping (the pipeline default)
+    stride: Optional[int] = None
+    #: per-series reduction of window predictions: ``"vote"`` or ``"mean"``
+    aggregation: str = "vote"
+    #: windows per selector forward chunk (memory/latency trade-off)
+    predict_batch_size: int = DEFAULT_PREDICT_BATCH_SIZE
+    #: window-probability LRU entries; 0 disables the cache
+    cache_capacity: int = 0
+    #: cross-stream forward-batch budget, in selector windows
+    max_batch_windows: int = 8192
+    #: thread count for per-stream scoring fan-out; 0 runs sequentially
+    max_workers: int = 0
+    #: drift monitoring configuration; ``None`` disables re-selection
+    drift: Optional[DriftConfig] = None
+    #: windows the running vote keeps after a drift-triggered re-selection
+    keep_last_on_drift: int = 32
+    #: full-re-score cadence (in points) for globally-scored detectors
+    rescore_every: int = 1
+    #: assert every incremental tail re-score against a full re-run (slow)
+    verify_scores: bool = False
+
+
+@dataclass(frozen=True)
+class StreamUpdate:
+    """What one flush did to one stream."""
+
+    stream: str
+    length: int
+    n_new_windows: int
+    n_windows: int
+    selected_index: Optional[int]
+    selected_model: Optional[str]
+    votes: Dict[str, float]
+    #: True when this flush changed the stream's selected model
+    changed: bool
+    #: True when the answer came from a padded pseudo-window (no complete window yet)
+    provisional: bool
+    drift_statistic: float = 0.0
+    drift_triggered: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (the ``stream`` CLI output format)."""
+        return {
+            "stream": self.stream,
+            "length": self.length,
+            "new_windows": self.n_new_windows,
+            "windows": self.n_windows,
+            "selected_index": self.selected_index,
+            "selected_model": self.selected_model,
+            "votes": dict(self.votes),
+            "changed": self.changed,
+            "provisional": self.provisional,
+            "drift_statistic": self.drift_statistic,
+            "drift_triggered": self.drift_triggered,
+        }
+
+
+@dataclass(frozen=True)
+class StreamEngineStats:
+    """Aggregate counters across every stream of one engine."""
+
+    n_streams: int
+    flushes: int
+    points: int
+    windows: int
+    forward_windows: int
+    cached_windows: int
+    drift_triggers: int
+    tail_rescores: int
+    full_rescores: int
+    cache: Optional[CacheStats]
+
+
+class _StreamState:
+    """Everything the engine keeps for one named stream."""
+
+    def __init__(self, buffer: StreamBuffer, votes: StreamVoteState,
+                 monitor: Optional[DriftMonitor]) -> None:
+        self.buffer = buffer
+        self.votes = votes
+        self.monitor = monitor
+        self.scorer: Optional[OnlineScorer] = None
+        self.selected_index: Optional[int] = None
+        self.pending = False
+
+
+class StreamEngine:
+    """Serve online model selection (and scoring) for many live streams."""
+
+    def __init__(
+        self,
+        selector: Selector,
+        detector_names: Sequence[str],
+        config: Optional[StreamingConfig] = None,
+        model_set: Optional[Dict[str, AnomalyDetector]] = None,
+    ) -> None:
+        self.detector_names = list(detector_names)
+        self.config = config or StreamingConfig()
+        self.model_set = model_set
+        if model_set is not None:
+            missing = [n for n in self.detector_names if n not in model_set]
+            if missing:
+                raise ValueError(f"model_set lacks detectors the selector can choose: {missing}")
+        self.streaming_selector = StreamingSelector(
+            selector,
+            n_classes=len(self.detector_names),
+            window=self.config.window,
+            stride=self.config.stride,
+            aggregation=self.config.aggregation,
+            predict_batch_size=self.config.predict_batch_size,
+            cache_capacity=self.config.cache_capacity,
+        )
+        self.workers = WorkerPool(self.config.max_workers)
+        self._streams: Dict[str, _StreamState] = {}
+        self._points = 0
+        self._flushes = 0
+
+    # ------------------------------------------------------------------ #
+    # stream management
+    # ------------------------------------------------------------------ #
+    def _ensure_stream(self, stream_id: str) -> _StreamState:
+        state = self._streams.get(stream_id)
+        if state is None:
+            state = _StreamState(
+                buffer=StreamBuffer(self.config.window, self.config.stride),
+                votes=self.streaming_selector.new_state(),
+                monitor=DriftMonitor(self.config.drift) if self.config.drift else None,
+            )
+            self._streams[stream_id] = state
+        return state
+
+    @property
+    def stream_ids(self) -> List[str]:
+        return list(self._streams)
+
+    def __contains__(self, stream_id: str) -> bool:
+        return stream_id in self._streams
+
+    def series(self, stream_id: str) -> np.ndarray:
+        """Every point received so far on one stream (read-only view)."""
+        return self._streams[stream_id].buffer.series
+
+    def scores(self, stream_id: str) -> np.ndarray:
+        """Normalised anomaly scores of the stream's scored prefix."""
+        state = self._streams[stream_id]
+        if state.scorer is None:
+            return np.zeros(0, dtype=np.float64)
+        return state.scorer.scores
+
+    def selection(self, stream_id: str) -> Optional[SelectionView]:
+        """The stream's current model choice (recomputed from stored votes)."""
+        state = self._streams[stream_id]
+        return self.streaming_selector.selection(state.votes, series=state.buffer.series)
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def append(self, stream_id: str, values: np.ndarray) -> None:
+        """Stage points on one stream (processed by the next :meth:`flush`)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        state = self._ensure_stream(stream_id)
+        state.buffer.extend(values)
+        state.pending = True
+        self._points += len(values)
+
+    def push(self, stream_id: str, values: np.ndarray) -> StreamUpdate:
+        """Append to one stream and flush immediately (single-stream ticks)."""
+        self.append(stream_id, values)
+        return self.flush()[stream_id]
+
+    def flush(self) -> Dict[str, StreamUpdate]:
+        """Process every staged append; one update per touched stream."""
+        pending = [(stream_id, state) for stream_id, state in self._streams.items()
+                   if state.pending]
+        if not pending:
+            return {}
+        self._flushes += 1
+
+        # 1. incremental windowing: only the windows that became complete
+        new_windows = [state.buffer.take_new_windows() for _, state in pending]
+
+        # 2. one forward pass per window-budgeted group of streams
+        probas: List[np.ndarray] = [
+            np.empty((0, len(self.detector_names))) for _ in pending
+        ]
+        counts = [len(w) for w in new_windows]
+        for group in window_budget_groups(counts, self.config.max_batch_windows):
+            members = [i for i in group if counts[i]]
+            if not members:
+                continue
+            stacked = np.vstack([new_windows[i] for i in members])
+            group_probas = self.streaming_selector.predict_proba(stacked)
+            offset = 0
+            for i in members:
+                probas[i] = group_probas[offset:offset + counts[i]]
+                offset += counts[i]
+
+        # 3. votes, drift, selection per stream
+        updates: Dict[str, StreamUpdate] = {}
+        to_score: List[_StreamState] = []
+        for (stream_id, state), windows, stream_probas in zip(pending, new_windows, probas):
+            self.streaming_selector.update(state.votes, windows, probas=stream_probas)
+
+            drift_stat, drift_triggered = 0.0, False
+            if state.monitor is not None and len(stream_probas):
+                decision = state.monitor.update(stream_probas)
+                drift_stat, drift_triggered = decision.statistic, decision.triggered
+                if drift_triggered:
+                    self.streaming_selector.reset_votes(
+                        state.votes, keep_last=self.config.keep_last_on_drift)
+
+            view = self.streaming_selector.selection(state.votes, series=state.buffer.series)
+            selected_index = view.selected_index if view is not None else None
+            changed = (selected_index is not None
+                       and state.selected_index is not None
+                       and selected_index != state.selected_index)
+            state.selected_index = selected_index
+
+            if self.model_set is not None and selected_index is not None:
+                chosen = self.model_set[self.detector_names[selected_index]]
+                if state.scorer is None:
+                    state.scorer = OnlineScorer(chosen,
+                                                rescore_every=self.config.rescore_every,
+                                                verify=self.config.verify_scores)
+                elif state.scorer.detector is not chosen:
+                    state.scorer.switch_detector(chosen)
+                to_score.append(state)
+
+            updates[stream_id] = StreamUpdate(
+                stream=stream_id,
+                length=state.buffer.length,
+                n_new_windows=len(windows),
+                n_windows=view.n_windows if view is not None else 0,
+                selected_index=selected_index,
+                selected_model=(self.detector_names[selected_index]
+                                if selected_index is not None else None),
+                votes=({name: float(view.aggregated[k])
+                        for k, name in enumerate(self.detector_names)}
+                       if view is not None else {}),
+                changed=changed,
+                provisional=view.provisional if view is not None else False,
+                drift_statistic=drift_stat,
+                drift_triggered=drift_triggered,
+            )
+            state.pending = False
+
+        # 4. per-stream scoring fan-out (independent work, thread-friendly)
+        if to_score:
+            self.workers.map(lambda state: state.scorer.update(state.buffer.series), to_score)
+
+        return updates
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> StreamEngineStats:
+        """Aggregate counters (windows avoided, cache traffic, drift, ...)."""
+        return StreamEngineStats(
+            n_streams=len(self._streams),
+            flushes=self._flushes,
+            points=self._points,
+            windows=sum(s.buffer.n_windows for s in self._streams.values()),
+            forward_windows=self.streaming_selector.forward_windows,
+            cached_windows=self.streaming_selector.cached_windows,
+            drift_triggers=sum(s.monitor.triggers for s in self._streams.values()
+                               if s.monitor is not None),
+            tail_rescores=sum(s.scorer.tail_rescores for s in self._streams.values()
+                              if s.scorer is not None),
+            full_rescores=sum(s.scorer.full_rescores for s in self._streams.values()
+                              if s.scorer is not None),
+            cache=self.streaming_selector.cache_stats,
+        )
+
+    def __repr__(self) -> str:
+        return (f"StreamEngine(streams={len(self._streams)}, "
+                f"models={len(self.detector_names)}, window={self.config.window})")

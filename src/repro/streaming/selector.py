@@ -1,0 +1,214 @@
+"""Incremental model selection over live streams.
+
+The one-shot pipeline answers "which TSAD model?" by windowing the whole
+series and running every window through the selector.  On a stream that is
+redundant work: windows already classified on earlier ticks never change
+(windows are content-defined and z-normalisation is row-local), so their
+probabilities can be kept and only the *new* windows need a forward pass.
+
+:class:`StreamingSelector` owns that invariant.  Per stream it accumulates
+the per-window probability matrix (:class:`StreamVoteState`); each tick it
+classifies only the newly complete windows — through the shared chunked
+predict path (:func:`repro.core.inference.batched_predict_proba`) and an
+optional content-addressed window-probability LRU
+(:class:`repro.serving.cache.LRUCache`), so periodic streams whose
+normalised windows repeat skip the forward pass entirely.  The running
+selection is recomputed with
+:func:`repro.eval.evaluation.aggregate_window_probas` — the *same* code the
+batch pipeline uses, over the *same* probability rows — which is what makes
+streaming selections bitwise identical to re-running the batch pipeline on
+the final series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.inference import DEFAULT_PREDICT_BATCH_SIZE
+from ..data.windows import extract_windows
+from ..eval.evaluation import aggregate_window_probas
+from ..selectors.base import Selector
+from ..selectors.nn_selector import NNSelector
+from ..serving.cache import CacheStats, LRUCache, series_fingerprint
+
+
+class StreamVoteState:
+    """Per-stream accumulator of window probabilities and the vote range."""
+
+    def __init__(self, n_classes: int, initial_capacity: int = 64) -> None:
+        self.n_classes = n_classes
+        self._probas = np.empty((initial_capacity, n_classes), dtype=np.float64)
+        self._length = 0
+        #: first window index the running vote covers (advanced by drift resets)
+        self.vote_start = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def append(self, probas: np.ndarray) -> None:
+        needed = self._length + len(probas)
+        if needed > len(self._probas):
+            capacity = len(self._probas)
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((capacity, self.n_classes), dtype=np.float64)
+            grown[: self._length] = self._probas[: self._length]
+            self._probas = grown
+        self._probas[self._length:needed] = probas
+        self._length = needed
+
+    @property
+    def probas(self) -> np.ndarray:
+        """All accumulated per-window probabilities (read-only view)."""
+        view = self._probas[: self._length]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def active_probas(self) -> np.ndarray:
+        """The rows the running vote covers (``vote_start:``)."""
+        return self.probas[self.vote_start:]
+
+
+@dataclass(frozen=True)
+class SelectionView:
+    """The running answer for one stream at one instant."""
+
+    selected_index: int
+    aggregated: np.ndarray
+    n_windows: int
+    #: True when no complete window exists yet and the answer came from a
+    #: padded pseudo-window over the partial series (recomputed every tick)
+    provisional: bool = False
+
+
+class StreamingSelector:
+    """Classify only new windows; keep per-stream running votes."""
+
+    def __init__(
+        self,
+        selector: Selector,
+        n_classes: int,
+        window: int,
+        stride: Optional[int] = None,
+        aggregation: str = "vote",
+        predict_batch_size: int = DEFAULT_PREDICT_BATCH_SIZE,
+        cache_capacity: int = 0,
+    ) -> None:
+        if aggregation not in ("vote", "mean"):
+            raise ValueError("aggregation must be 'vote' or 'mean'")
+        self.selector = selector
+        self.n_classes = n_classes
+        self.window = window
+        self.stride = stride or window
+        self.aggregation = aggregation
+        self.predict_batch_size = predict_batch_size
+        self.cache = LRUCache(cache_capacity) if cache_capacity > 0 else None
+        #: windows sent through an actual selector forward pass
+        self.forward_windows = 0
+        #: windows answered from the window-probability cache
+        self.cached_windows = 0
+
+    # ------------------------------------------------------------------ #
+    def new_state(self) -> StreamVoteState:
+        return StreamVoteState(self.n_classes)
+
+    def _forward(self, windows: np.ndarray) -> np.ndarray:
+        """One selector forward pass over a (k, L) window matrix.
+
+        NN selectors go through their own chunk-padded predict path
+        (:func:`batched_predict_proba` inside ``NNSelector.predict_proba``),
+        which makes per-row bits independent of how many windows arrived
+        together — the bitwise-equality guarantee.  Classical selectors are
+        called un-chunked, exactly like the batch pipeline and the serving
+        layer call them; their probabilities are typically discrete
+        vote/count fractions, but tick-boundary bit-equality is *engineered*
+        only for the NN path.
+        """
+        if isinstance(self.selector, NNSelector):
+            return self.selector.predict_proba(windows, batch_size=self.predict_batch_size)
+        return self.selector.predict_proba(windows)
+
+    def predict_proba(self, windows: np.ndarray) -> np.ndarray:
+        """Per-window probabilities, answering repeats from the window LRU.
+
+        Cached rows are bitwise identical to recomputed ones: a row's
+        answer does not depend on which batch it was first computed in
+        (see :meth:`_forward`).
+        """
+        windows = np.asarray(windows, dtype=np.float64)
+        if len(windows) == 0:
+            return np.empty((0, self.n_classes), dtype=np.float64)
+        if self.cache is None:
+            self.forward_windows += len(windows)
+            return self._forward(windows)
+
+        proba = np.empty((len(windows), self.n_classes), dtype=np.float64)
+        keys = [series_fingerprint(row) for row in windows]
+        miss_indices = []
+        for i, key in enumerate(keys):
+            hit = self.cache.get(key)
+            if hit is None:
+                miss_indices.append(i)
+            else:
+                proba[i] = hit
+        if miss_indices:
+            computed = self._forward(windows[miss_indices])
+            for j, i in enumerate(miss_indices):
+                proba[i] = computed[j]
+                self.cache.put(keys[i], computed[j].copy())
+        self.forward_windows += len(miss_indices)
+        self.cached_windows += len(windows) - len(miss_indices)
+        return proba
+
+    # ------------------------------------------------------------------ #
+    def update(self, state: StreamVoteState, new_windows: np.ndarray,
+               probas: Optional[np.ndarray] = None) -> np.ndarray:
+        """Fold newly complete windows into the stream's running vote.
+
+        ``probas`` short-circuits the forward pass when the engine already
+        classified the windows as part of a cross-stream batch.
+        """
+        if probas is None:
+            probas = self.predict_proba(new_windows)
+        if len(probas):
+            state.append(probas)
+        return probas
+
+    def selection(self, state: StreamVoteState,
+                  series: Optional[np.ndarray] = None) -> Optional[SelectionView]:
+        """The stream's current model choice (None when nothing to vote on).
+
+        With at least one complete window this aggregates the stored
+        probability rows with the batch pipeline's own
+        :func:`aggregate_window_probas` — bitwise-equal selections.  Before
+        the first complete window, a ``series`` (the partial stream) yields
+        a *provisional* answer via the batch path's padded single window.
+        """
+        active = state.active_probas
+        if len(active):
+            choice, aggregated = aggregate_window_probas(active, self.aggregation)
+            return SelectionView(choice, aggregated, n_windows=len(active))
+        if series is not None and len(series):
+            padded = extract_windows(series, self.window, stride=self.stride)
+            choice, aggregated = aggregate_window_probas(
+                self.predict_proba(padded), self.aggregation)
+            return SelectionView(choice, aggregated, n_windows=len(padded), provisional=True)
+        return None
+
+    def reset_votes(self, state: StreamVoteState, keep_last: int = 0) -> None:
+        """Restart the running vote, keeping only the last ``keep_last`` windows.
+
+        This is the re-selection primitive the drift monitor triggers: old
+        windows stop contributing, so the choice can move with the stream.
+        """
+        state.vote_start = max(len(state) - max(keep_last, 0), 0)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Hit/miss counters of the window-probability LRU (None when off)."""
+        return self.cache.stats if self.cache is not None else None

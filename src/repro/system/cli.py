@@ -15,6 +15,8 @@ be driven without writing Python:
   cached selection service and report throughput + cache statistics.
 * ``serve``         — long-running mode: read series file paths from stdin,
   answer each with one JSON line (cache kept warm across queries).
+* ``stream``        — incremental mode: replay series files (or stdin ticks)
+  as live streams through the streaming engine, one JSON line per update.
 * ``list-selectors`` — show the contents of a selector store.
 
 Run ``python -m repro.system.cli --help`` for details; ``docs/cli.md`` has a
@@ -133,6 +135,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--window", type=int, default=96)
     serve.add_argument("--aggregation", default="vote", choices=["vote", "mean"])
     serve.add_argument("--cache-capacity", type=int, default=4096)
+
+    stream = sub.add_parser("stream",
+                            help="replay series files (or stdin ticks) through the "
+                                 "incremental streaming engine")
+    stream.add_argument("series_files", type=Path, nargs="*",
+                        help="series files replayed as concurrent streams; "
+                             "none means read ticks from stdin")
+    stream.add_argument("--store", type=Path, default=Path("selector_store"))
+    stream.add_argument("--name", required=True)
+    stream.add_argument("--window", type=int, default=96)
+    stream.add_argument("--stride", type=int, default=None,
+                        help="window stride (default: non-overlapping)")
+    stream.add_argument("--chunk", type=int, default=32,
+                        help="points appended per stream per replayed tick")
+    stream.add_argument("--aggregation", default="vote", choices=["vote", "mean"])
+    stream.add_argument("--cache-capacity", type=int, default=0,
+                        help="window-probability LRU entries (0 disables)")
+    stream.add_argument("--max-batch-windows", type=int, default=8192,
+                        help="cross-stream forward-batch budget, in windows")
+    stream.add_argument("--drift-threshold", type=float, default=None,
+                        help="total-variation drift threshold enabling re-selection "
+                             "(default: drift monitoring off)")
+    stream.add_argument("--score", action="store_true",
+                        help="maintain per-point anomaly scores with the selected detector")
+    stream.add_argument("--detector-window", type=int, default=24)
+    stream.add_argument("--emit", default="all", choices=["all", "changes"],
+                        help="print every tick update or only selection changes")
 
     list_cmd = sub.add_parser("list-selectors", help="show the contents of a selector store")
     list_cmd.add_argument("--store", type=Path, default=Path("selector_store"))
@@ -330,6 +359,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_stream_engine(args: argparse.Namespace) -> "StreamEngine":
+    from ..detectors.base import DEFAULT_MODEL_NAMES
+    from ..streaming import DriftConfig, StreamEngine, StreamingConfig
+
+    config = StreamingConfig(
+        window=args.window,
+        stride=args.stride,
+        aggregation=args.aggregation,
+        cache_capacity=args.cache_capacity,
+        max_batch_windows=args.max_batch_windows,
+        drift=(DriftConfig(threshold=args.drift_threshold)
+               if args.drift_threshold is not None else None),
+    )
+    model_set = (make_default_model_set(window=args.detector_window, fast=True)
+                 if args.score else None)
+    selector = SelectorStore(args.store).load(args.name)
+    return StreamEngine(selector, DEFAULT_MODEL_NAMES, config, model_set=model_set)
+
+
+def _format_stream_stats(stats) -> str:
+    rows = [
+        ["streams", stats.n_streams],
+        ["flushes", stats.flushes],
+        ["points in", stats.points],
+        ["windows emitted", stats.windows],
+        ["forward-pass windows", stats.forward_windows],
+        ["cache-served windows", stats.cached_windows],
+        ["drift re-selections", stats.drift_triggers],
+        ["tail re-scores", stats.tail_rescores],
+        ["full re-scores", stats.full_rescores],
+    ]
+    return format_table(["counter", "value"], rows)
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from ..streaming import parse_tick_line, replay_records
+
+    engine = _make_stream_engine(args)
+
+    def emit(update) -> None:
+        if args.emit == "changes" and not (update.changed or update.drift_triggered):
+            return
+        print(json.dumps(update.as_dict()), flush=True)
+
+    if args.series_files:
+        try:
+            records = [load_series_file(path) for path in args.series_files]
+        except (OSError, ValueError) as error:
+            raise SystemExit(str(error) or type(error).__name__)
+        for updates in replay_records(engine, records, chunk=args.chunk):
+            for update in updates.values():
+                emit(update)
+    else:
+        for line in sys.stdin:
+            if not line.strip():
+                continue
+            try:
+                stream_id, values = parse_tick_line(line)
+            except ValueError as error:
+                print(json.dumps({"error": str(error)}), flush=True)
+                continue
+            emit(engine.push(stream_id, values))
+    print(_format_stream_stats(engine.stats), file=sys.stderr)
+    return 0
+
+
 def _cmd_list_selectors(args: argparse.Namespace) -> int:
     store = SelectorStore(args.store)
     infos = store.list()
@@ -351,6 +446,7 @@ _COMMANDS = {
     "detect": _cmd_detect,
     "batch-select": _cmd_batch_select,
     "serve": _cmd_serve,
+    "stream": _cmd_stream,
     "list-selectors": _cmd_list_selectors,
 }
 

@@ -179,6 +179,41 @@ class ModelSelectionPipeline:
             self.selector, self.detector_names, ServingConfig(**config_overrides)
         )
 
+    def as_stream_engine(self, score: bool = False,
+                         model_set: Optional[Dict[str, AnomalyDetector]] = None,
+                         **config_overrides):
+        """Wrap the trained selector in an incremental multi-stream engine.
+
+        Returns a :class:`repro.streaming.StreamEngine` configured with this
+        pipeline's window settings; keyword arguments override fields of
+        :class:`repro.streaming.StreamingConfig` (e.g. ``drift``,
+        ``cache_capacity``, ``max_batch_windows``).  Online per-point
+        scoring is opt-in: ``score=True`` scores with the pipeline's own
+        model set, ``model_set=...`` with a custom one.  Note that
+        globally-scored detectors re-run full detection over the whole
+        prefix every ``rescore_every`` points — raise that knob for
+        high-frequency streams.  As long as no drift re-selection narrows a
+        stream's vote, the engine's selections are bitwise identical to
+        :meth:`select_model` on the same prefix.
+        """
+        from ..streaming.engine import StreamEngine, StreamingConfig
+
+        if self.selector is None:
+            raise RuntimeError("no trained selector; call train_selector() first")
+        # stride is intentionally left at None (= non-overlapping): that is
+        # the prediction-time windowing of select_model/predict_for_series
+        # (the pipeline's stride only shapes the *training* dataset).
+        config_overrides.setdefault("window", self.config.window)
+        config_overrides.setdefault("max_workers", self.config.max_workers)
+        if score and model_set is None:
+            model_set = self.model_set
+        return StreamEngine(
+            self.selector,
+            self.detector_names,
+            StreamingConfig(**config_overrides),
+            model_set=model_set,
+        )
+
     # ------------------------------------------------------------------ #
     def windows_for(self, record: TimeSeriesRecord) -> np.ndarray:
         """The selector-input windows of one series (for inspection / UI)."""

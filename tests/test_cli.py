@@ -157,6 +157,58 @@ class TestTrainEvaluateDetect:
         assert "error" in answers[2]
         assert "cache hits" in captured.err
 
+    def test_stream_replays_files_as_ticks(self, cli_workspace, trained_store, capsys):
+        files = sorted(cli_workspace["data_dir"].glob("*.csv"))[:2]
+        assert main([
+            "stream", str(files[0]), str(files[1]),
+            "--store", str(trained_store), "--name", "mlp", "--window", "64",
+            "--chunk", "100", "--score", "--detector-window", "16",
+        ]) == 0
+        captured = capsys.readouterr()
+        updates = [json.loads(line) for line in captured.out.splitlines() if line.strip()]
+        # 400-point series in 100-point ticks, two streams -> 8 updates
+        assert len(updates) == 8
+        streams = {u["stream"] for u in updates}
+        assert streams == {f.stem for f in files}
+        final = updates[-1]
+        assert final["length"] == 400 and final["windows"] == 6
+        assert final["selected_model"] is not None
+        assert "forward-pass windows" in captured.err
+
+    def test_stream_reads_stdin_ticks(self, trained_store, capsys, monkeypatch):
+        import io
+
+        lines = "\n".join(["1.5", "2.5", '{"stream": "other", "values": [1, 2, 3]}',
+                           "not-a-number"]) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        assert main([
+            "stream",
+            "--store", str(trained_store), "--name", "mlp", "--window", "64",
+        ]) == 0
+        captured = capsys.readouterr()
+        answers = [json.loads(line) for line in captured.out.splitlines() if line.strip()]
+        assert len(answers) == 4
+        assert answers[0]["stream"] == "stdin" and answers[0]["provisional"]
+        assert answers[2]["stream"] == "other"
+        assert "error" in answers[3]
+
+    def test_stream_emit_changes_filters_steady_updates(self, cli_workspace, trained_store,
+                                                        capsys):
+        series_file = sorted(cli_workspace["data_dir"].glob("*.csv"))[0]
+        assert main([
+            "stream", str(series_file),
+            "--store", str(trained_store), "--name", "mlp", "--window", "64",
+            "--chunk", "50", "--emit", "changes",
+        ]) == 0
+        all_out = capsys.readouterr()
+        changed = [json.loads(line) for line in all_out.out.splitlines() if line.strip()]
+        assert all(u["changed"] or u["drift_triggered"] for u in changed)
+
+    def test_stream_missing_file_exits_cleanly(self, trained_store):
+        with pytest.raises(SystemExit):
+            main(["stream", "no/such/file.csv",
+                  "--store", str(trained_store), "--name", "mlp"])
+
     def test_list_selectors(self, trained_store, capsys):
         assert main(["list-selectors", "--store", str(trained_store)]) == 0
         assert "mlp" in capsys.readouterr().out

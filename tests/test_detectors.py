@@ -67,6 +67,56 @@ class TestWindowHelpers:
         assert scores[:3].max() == 0.0
         assert scores[3:7].max() > 0.0
 
+    @staticmethod
+    def _point_scores_loop(window_scores, series_length, window, stride=1):
+        """The historical per-window Python loop (the regression reference)."""
+        scores = np.zeros(series_length, dtype=np.float64)
+        counts = np.zeros(series_length, dtype=np.float64)
+        for i, s in enumerate(np.asarray(window_scores, dtype=np.float64)):
+            start = i * stride
+            scores[start:start + window] += s
+            counts[start:start + window] += 1.0
+        counts[counts == 0] = 1.0
+        return scores / counts
+
+    def test_vectorised_point_scores_bitwise_match_loop(self):
+        """Regression: the np.add.at implementation must reproduce the old
+        per-window loop bit for bit, for any window/stride/length combo."""
+        gen = np.random.default_rng(42)
+        for _ in range(40):
+            window = int(gen.integers(1, 40))
+            stride = int(gen.integers(1, 8))
+            n_windows = int(gen.integers(0, 500))
+            length = ((n_windows - 1) * stride + window + int(gen.integers(0, 20))
+                      if n_windows else int(gen.integers(0, 30)))
+            window_scores = gen.normal(size=n_windows) * (10.0 ** float(gen.integers(-6, 6)))
+            got = window_scores_to_point_scores(window_scores, length, window, stride)
+            want = self._point_scores_loop(window_scores, length, window, stride)
+            assert np.array_equal(got, want), (window, stride, n_windows, length)
+
+    def test_point_scores_clamp_windows_past_series_end(self):
+        """Windows extending past series_length are clamped, like the old
+        loop's slice assignment (not an IndexError)."""
+        gen = np.random.default_rng(44)
+        for length, window, stride, n_windows in ((6, 4, 2, 5), (10, 8, 1, 9), (3, 4, 1, 2)):
+            window_scores = gen.normal(size=n_windows)
+            got = window_scores_to_point_scores(window_scores, length, window, stride)
+            want = self._point_scores_loop(window_scores, length, window, stride)
+            assert got.shape == (length,)
+            assert np.array_equal(got, want)
+
+    def test_vectorised_point_scores_bitwise_match_loop_across_blocks(self):
+        """The blocked scatter-add must stay bitwise identical across the
+        internal block boundary."""
+        from repro.detectors.base import _POINT_SCORE_BLOCK
+
+        gen = np.random.default_rng(43)
+        n_windows = _POINT_SCORE_BLOCK * 2 + 17
+        window_scores = gen.normal(size=n_windows)
+        got = window_scores_to_point_scores(window_scores, n_windows + 31, 32)
+        want = self._point_scores_loop(window_scores, n_windows + 31, 32)
+        assert np.array_equal(got, want)
+
     def test_normalize_scores_range(self):
         scores = normalize_scores(np.array([1.0, 5.0, 3.0]))
         assert scores.min() == 0.0 and scores.max() == 1.0

@@ -85,7 +85,7 @@ class TestRepositoryDocs:
         readme = (ROOT / "README.md").read_text()
         for package in ("repro.nn", "repro.ml", "repro.detectors", "repro.data",
                         "repro.selectors", "repro.core", "repro.eval",
-                        "repro.system", "repro.serving"):
+                        "repro.system", "repro.serving", "repro.streaming"):
             assert package in readme, f"README.md does not mention {package}"
 
     def test_makefile_targets_exist(self):

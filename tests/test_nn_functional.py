@@ -145,6 +145,23 @@ class TestDropoutAndLinear:
         assert np.allclose(kept, 2.0)
         assert 0.3 < (out > 0).mean() < 0.7
 
+    def test_dropout_default_rng_is_seeded_and_deterministic(self):
+        """Regression: the no-rng fallback must use the thread-local seeded
+        stream (repro.nn.init.get_rng), not a fresh unseeded generator."""
+        from repro.nn.init import set_seed
+
+        x = Tensor(np.ones((64, 8)))
+        set_seed(123)
+        first = F.dropout(x, 0.5, training=True).numpy()
+        set_seed(123)
+        second = F.dropout(x, 0.5, training=True).numpy()
+        assert np.array_equal(first, second)
+
+        set_seed(124)
+        other = F.dropout(x, 0.5, training=True).numpy()
+        assert not np.array_equal(first, other)
+        set_seed(0)  # restore the thread default for later tests
+
     def test_linear_2d(self):
         x = Tensor(np.ones((2, 3)))
         w = Tensor(np.ones((4, 3)))

@@ -65,6 +65,37 @@ class TestLRUCache:
         assert len(cache) == 0
         assert cache.stats.hits == 1
 
+    def test_clear_keeps_eviction_counter_and_restarts_occupancy(self):
+        cache = LRUCache(capacity=2)
+        for key in ("a", "b", "c"):  # "a" evicted
+            cache.put(key, key)
+        assert cache.stats.evictions == 1
+        cache.clear()
+        stats = cache.stats
+        assert (stats.size, stats.evictions) == (0, 1)
+        # a cleared cache refills from scratch: capacity applies afresh
+        for key in ("x", "y"):
+            cache.put(key, key)
+        assert cache.stats.evictions == 1 and len(cache) == 2
+        cache.put("z", "z")
+        assert cache.stats.evictions == 2
+
+    def test_refreshing_existing_key_never_evicts(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert
+        assert len(cache) == 2 and cache.stats.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_lookup_after_clear_is_a_miss(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is None
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (0, 1)
+
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             LRUCache(capacity=0)
@@ -151,6 +182,20 @@ class TestBatchedWindowing:
         record = generate_series("ECG", 0, 4000, seed=1)
         batches = list(microbatches([record], 64, max_windows=1))
         assert len(batches) == 1 and batches[0] == [record]
+
+    def test_microbatches_oversized_series_isolated_among_small_ones(self):
+        small = generate_series("ECG", 0, 128, seed=1)      # 2 windows
+        big = generate_series("IOPS", 1, 4000, seed=1)      # 62 windows >> budget
+        batches = list(microbatches([small, big, small], 64, max_windows=4))
+        assert [[r.name for r in batch] for batch in batches] == \
+            [[small.name], [big.name], [small.name]]
+
+    def test_microbatches_empty_input_yields_no_batches(self):
+        assert list(microbatches([], 64, max_windows=8)) == []
+
+    def test_microbatches_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            list(microbatches([generate_series("ECG", 0, 100, seed=1)], 64, max_windows=0))
 
 
 @pytest.fixture(scope="module")
