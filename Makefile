@@ -1,7 +1,9 @@
 # Developer entry points. Run from the repository root.
 #
 #   make test        - tier-1 test suite (the gate every PR must keep green)
-#   make bench-smoke - fast serving + streaming benchmarks (assert >= 5x speedups)
+#   make bench-smoke - fast serving + streaming + kernel benchmarks
+#                      (assert speedups; kernel smoke gates against
+#                      benchmarks/baselines.json with a 20% regression margin)
 #   make bench       - every paper-table benchmark (slow: trains many selectors)
 #   make stream-demo - run the streaming quickstart example end to end
 #   make docs-check  - docstring + documentation-link checks
@@ -16,6 +18,7 @@ test:
 
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q benchmarks/bench_serving_throughput.py benchmarks/bench_streaming_throughput.py
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_detector_kernels.py --smoke
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q benchmarks/

@@ -1,0 +1,242 @@
+"""Benchmark: detector kernel speedups and memory budgets (``repro.accel``).
+
+Pins the two acceptance claims of the kernel layer:
+
+1. **Matrix profile** — the diagonal cumulative-sum kernel vs the pre-PR
+   blocked matmul (:func:`repro.accel.reference.matrix_profile_matmul`).
+   At the largest benchmark configuration the float32 fast path must be
+   ≥ 5x faster and float64 ≥ 3x, while float64 stays within atol 1e-8 of
+   the pre-PR profile at *every* configuration (the two sum the same
+   correlations in different orders, so bitwise equality is not
+   achievable — the tolerance is the documented contract).
+2. **LOF/KNN distance memory** — the memory-budgeted tiled k-NN vs the
+   historical full-distance-matrix path on 20 000 windows: ≥ 4x lower
+   peak memory (tracemalloc), identical LOF values (rtol 1e-8), and the
+   under-budget dense path bitwise identical to the pre-PR k-NN for
+   distinct operands (self-joins: symmetrised, within one ulp).
+
+Run modes:
+
+* ``pytest benchmarks/bench_detector_kernels.py`` — full scale; asserts
+  the criteria above (the matrix-profile grid tops out at n=32768,
+  w=1024; the memory comparison materialises the historical ~3 GB+
+  distance matrices, so it needs a machine with ≥ 16 GB RAM).
+* ``python benchmarks/bench_detector_kernels.py --smoke`` — CI gate at
+  reduced scale: asserts the same equivalences, then compares the
+  measured speedup/memory ratios against ``benchmarks/baselines.json``
+  and fails on a > 20 % regression.  ``--record`` rewrites the baselines
+  from the current machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.accel import matrix_profile, tile_kneighbors
+from repro.accel.reference import kneighbors_dense, matrix_profile_matmul
+from repro.detectors.base import sliding_windows
+from repro.ml.neighbors import kneighbors
+
+BASELINES_PATH = Path(__file__).resolve().parent / "baselines.json"
+
+#: full-scale matrix-profile grid; the last entry is "the largest benchmark
+#: series length" of the acceptance criterion
+MP_GRID_FULL = [(8192, 128), (16384, 256), (32768, 1024)]
+MP_GRID_SMOKE = [(8192, 256)]
+
+LOF_WINDOWS_FULL = 20_000
+LOF_WINDOWS_SMOKE = 4_000
+
+#: smoke gate: measured ratios may regress at most 20 % below the recorded
+#: baselines
+REGRESSION_TOLERANCE = 0.8
+
+
+def _series(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.normal(size=n)) + 0.05 * rng.normal(size=n)
+
+
+def _time(fn, repeats: int = 1) -> tuple[object, float]:
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _peak_memory(fn) -> tuple[object, int]:
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+# --------------------------------------------------------------------------- #
+# matrix profile
+# --------------------------------------------------------------------------- #
+def run_matrix_profile_bench(grid, repeats: int = 1, verbose: bool = True) -> dict:
+    rows = []
+    for n, window in grid:
+        series = _series(n + window - 1, seed=n)
+        old, t_old = _time(lambda: matrix_profile_matmul(series, window), repeats)
+        f64, t_f64 = _time(lambda: matrix_profile(series, window), repeats)
+        f32, t_f32 = _time(lambda: matrix_profile(series, window, dtype="float32"),
+                           repeats)
+        err64 = float(np.abs(f64 - old).max())
+        err32 = float(np.abs(f32 - old).max())
+        # The float64 equivalence contract holds at every configuration.
+        assert err64 <= 1e-8, f"float64 profile deviates by {err64:.2e} at n={n} w={window}"
+        rows.append({
+            "n": n, "window": window,
+            "t_matmul_s": t_old, "t_float64_s": t_f64, "t_float32_s": t_f32,
+            "speedup_float64": t_old / t_f64, "speedup_float32": t_old / t_f32,
+            "max_abs_err_float64": err64, "max_abs_err_float32": err32,
+        })
+        if verbose:
+            print(f"matrix profile  n={n:>6} w={window:>4}  "
+                  f"matmul {t_old:7.2f}s  float64 {t_f64:6.2f}s ({t_old / t_f64:4.1f}x)  "
+                  f"float32 {t_f32:6.2f}s ({t_old / t_f32:4.1f}x)  "
+                  f"err64 {err64:.1e}  err32 {err32:.1e}")
+    return {"rows": rows, "largest": rows[-1]}
+
+
+# --------------------------------------------------------------------------- #
+# LOF / k-NN memory
+# --------------------------------------------------------------------------- #
+def _lof_from_kneighbors(x: np.ndarray, n_neighbors: int, kneighbors_fn) -> np.ndarray:
+    """The LOF math of ``repro.detectors.lof`` over a pluggable k-NN kernel."""
+    n = x.shape[0]
+    k = max(1, min(n_neighbors, n - 1))
+    dist, idx = kneighbors_fn(x, x, k)
+    k_dist = dist[:, -1]
+    reach = np.maximum(k_dist[idx], dist)
+    lrd = 1.0 / np.maximum(reach.mean(axis=1), 1e-12)
+    return (lrd[idx].mean(axis=1)) / np.maximum(lrd, 1e-12)
+
+
+def run_lof_memory_bench(n_windows: int, window: int = 24, n_neighbors: int = 20,
+                         tile_budget_mb: float = 64.0, verbose: bool = True) -> dict:
+    series = _series(n_windows + window - 1, seed=7)
+    subs = sliding_windows(series, window)
+    assert subs.shape[0] == n_windows
+
+    dense, peak_dense = _peak_memory(lambda: _lof_from_kneighbors(
+        subs, n_neighbors,
+        lambda q, r, k: kneighbors_dense(q, r, k, exclude_self=True)))
+    tiled, peak_tiled = _peak_memory(lambda: _lof_from_kneighbors(
+        subs, n_neighbors,
+        lambda q, r, k: tile_kneighbors(q, q, k, exclude_self=True,
+                                        memory_budget_mb=tile_budget_mb)))
+    np.testing.assert_allclose(tiled, dense, rtol=1e-8)
+
+    # Under the memory budget the public kneighbors stays the historical
+    # code path: bit for bit for distinct operands; the self-join goes
+    # through the symmetrised fast path, identical to the last ulp.
+    small = subs[:256]
+    other = np.ascontiguousarray(subs[256:512])
+    d_new, i_new = kneighbors(small, other, n_neighbors)
+    d_old, i_old = kneighbors_dense(small, other, n_neighbors)
+    assert np.array_equal(d_new, d_old) and np.array_equal(i_new, i_old)
+    d_self, _ = kneighbors(small, small, n_neighbors, exclude_self=True)
+    d_self_old, _ = kneighbors_dense(small, small, n_neighbors, exclude_self=True)
+    np.testing.assert_allclose(d_self, d_self_old, rtol=1e-12)
+
+    ratio = peak_dense / peak_tiled
+    if verbose:
+        print(f"LOF peak memory n={n_windows} w={window} k={n_neighbors}:  "
+              f"dense {peak_dense / 1e6:8.1f} MB   tiled {peak_tiled / 1e6:7.1f} MB   "
+              f"reduction {ratio:5.1f}x")
+    return {"n_windows": n_windows, "peak_dense_bytes": peak_dense,
+            "peak_tiled_bytes": peak_tiled, "memory_ratio": ratio}
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry points (full scale — the acceptance criteria)
+# --------------------------------------------------------------------------- #
+def test_matrix_profile_speedup_and_equivalence():
+    result = run_matrix_profile_bench(MP_GRID_FULL)
+    largest = result["largest"]
+    assert largest["speedup_float32"] >= 5.0, (
+        f"float32 fast path {largest['speedup_float32']:.1f}x < 5x at "
+        f"n={largest['n']} w={largest['window']}")
+    assert largest["speedup_float64"] >= 3.0, (
+        f"float64 kernel {largest['speedup_float64']:.1f}x < 3x at "
+        f"n={largest['n']} w={largest['window']}")
+
+
+def test_lof_memory_reduction():
+    result = run_lof_memory_bench(LOF_WINDOWS_FULL)
+    assert result["memory_ratio"] >= 4.0, (
+        f"peak-memory reduction {result['memory_ratio']:.1f}x < 4x "
+        f"on {result['n_windows']} windows")
+
+
+# --------------------------------------------------------------------------- #
+# smoke mode (CI gate against recorded baselines)
+# --------------------------------------------------------------------------- #
+def run_smoke(record: bool = False) -> int:
+    mp = run_matrix_profile_bench(MP_GRID_SMOKE, repeats=2)["largest"]
+    lof = run_lof_memory_bench(LOF_WINDOWS_SMOKE, tile_budget_mb=8.0)
+    measured = {
+        "mp_speedup_float64": round(mp["speedup_float64"], 3),
+        "mp_speedup_float32": round(mp["speedup_float32"], 3),
+        "lof_memory_ratio": round(lof["memory_ratio"], 3),
+    }
+    print(f"smoke measurements: {json.dumps(measured)}")
+
+    if record:
+        BASELINES_PATH.write_text(json.dumps({
+            "description": "bench_detector_kernels --smoke baselines "
+                           "(speedup/memory ratios; regenerate with --record)",
+            "smoke": measured,
+        }, indent=2) + "\n")
+        print(f"recorded baselines -> {BASELINES_PATH}")
+        return 0
+
+    baselines = json.loads(BASELINES_PATH.read_text())["smoke"]
+    failures = []
+    for key, baseline in baselines.items():
+        floor = REGRESSION_TOLERANCE * baseline
+        if measured[key] < floor:
+            failures.append(f"{key}: measured {measured[key]:.2f} < "
+                            f"{floor:.2f} (80% of baseline {baseline:.2f})")
+    # The memory reduction is also an absolute contract, scale-independent.
+    if lof["memory_ratio"] < 4.0:
+        failures.append(f"lof_memory_ratio {lof['memory_ratio']:.2f} < 4.0")
+    if failures:
+        print("SMOKE REGRESSION:\n  " + "\n  ".join(failures))
+        return 1
+    print("smoke: OK (within 20% of recorded baselines)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced-scale run gated against baselines.json")
+    parser.add_argument("--record", action="store_true",
+                        help="with --smoke: rewrite baselines.json from this machine")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(record=args.record)
+    test_matrix_profile_speedup_and_equivalence()
+    test_lof_memory_reduction()
+    print("full benchmark: all acceptance assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,10 @@ Sub-packages
 ``repro.serving``
     Batched, cached selection serving: content-addressed LRU result cache,
     batched window extraction + forward passes, worker fan-out.
+``repro.accel``
+    Shared fast-kernel layer: diagonal/FFT matrix-profile kernels, tiled
+    memory-budgeted distance kernels, the precision policy and runtime
+    budgets that detectors, ``repro.ml`` and streaming route through.
 """
 
 __version__ = "1.0.0"
@@ -49,7 +53,7 @@ def __getattr__(name):
     """
     import importlib
 
-    if name in {"ml", "detectors", "data", "text", "selectors", "core", "eval", "system", "serving"}:
+    if name in {"ml", "detectors", "data", "text", "selectors", "core", "eval", "system", "serving", "accel", "streaming"}:
         module = importlib.import_module(f".{name}", __name__)
         globals()[name] = module
         return module

@@ -1,0 +1,99 @@
+"""Precision policy: the float32 fast path, float64 by default.
+
+Every accelerated kernel (``repro.accel.distances``, ``repro.accel.profile``)
+and the ``repro.nn`` substrate resolves its working dtype through this
+module.  The default is **float64**, so every bitwise-equality guarantee in
+the codebase (serving cache, streaming tail re-scoring, selector
+determinism) is untouched unless the caller *opts in* to float32.
+
+Three override levels, strongest first:
+
+1. per-call ``dtype=...`` argument on a kernel,
+2. a :class:`use_precision` context (thread-local, nestable),
+3. the ``REPRO_PRECISION`` environment variable or
+   :func:`set_default_precision` (the CLI's ``--precision`` flag).
+
+float32 roughly halves memory traffic and doubles BLAS throughput; the
+accuracy cost per kernel is documented in ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional, Union
+
+import numpy as np
+
+PRECISIONS = {
+    "float32": np.float32,
+    "float64": np.float64,
+}
+
+#: process-wide default set programmatically (e.g. the CLI ``--precision``
+#: flag); ``None`` falls back to the environment / built-in default
+_process_default: Optional[str] = None
+
+_thread_state = threading.local()
+
+
+def _validate(name: str) -> str:
+    if name not in PRECISIONS:
+        raise ValueError(
+            f"unknown precision {name!r}; expected one of {sorted(PRECISIONS)}"
+        )
+    return name
+
+
+def set_default_precision(name: Optional[str]) -> None:
+    """Set the process-wide default precision (``None`` resets to the env)."""
+    global _process_default
+    _process_default = _validate(name) if name is not None else None
+
+
+def default_precision() -> str:
+    """The process-wide precision: programmatic > ``REPRO_PRECISION`` > float64."""
+    if _process_default is not None:
+        return _process_default
+    return _validate(os.environ.get("REPRO_PRECISION", "float64"))
+
+
+def current_precision() -> str:
+    """The calling thread's active precision (innermost override wins)."""
+    stack = getattr(_thread_state, "stack", None)
+    if stack:
+        return stack[-1]
+    return default_precision()
+
+
+def resolve_dtype(dtype: Union[str, np.dtype, type, None] = None) -> np.dtype:
+    """Resolve a per-call dtype override against the active precision policy."""
+    if dtype is None:
+        return np.dtype(PRECISIONS[current_precision()])
+    if isinstance(dtype, str) and dtype in PRECISIONS:
+        return np.dtype(PRECISIONS[dtype])
+    resolved = np.dtype(dtype)
+    if resolved not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"unsupported kernel dtype {dtype!r}; use float32 or float64")
+    return resolved
+
+
+class use_precision:
+    """Context manager overriding the precision for the calling thread.
+
+    >>> with use_precision("float32"):
+    ...     dist, idx = kneighbors(q, r, k=5)   # float32 kernels
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = _validate(name)
+
+    def __enter__(self) -> "use_precision":
+        stack = getattr(_thread_state, "stack", None)
+        if stack is None:
+            stack = _thread_state.stack = []
+        stack.append(self._name)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _thread_state.stack.pop()

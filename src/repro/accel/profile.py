@@ -1,0 +1,264 @@
+"""Fast matrix-profile kernels: rolling statistics, MASS, diagonal self-join.
+
+The pre-accel profile kernel z-normalised every subsequence and ran a
+blocked all-pairs GEMM — O(n²·w) flops (kept as
+:func:`repro.accel.reference.matrix_profile_matmul`).  This module removes
+the O(w) factor:
+
+* :func:`moving_mean_std` — per-window mean/std of every subsequence from
+  two cumulative sums, O(n) instead of materialising the (n, w) window
+  matrix.
+* :func:`sliding_dot_products` — MASS-style sliding dot products of query
+  patterns against a series via rFFT, O(n log n) per query instead of
+  O(n·w).  This is the cross-join primitive (NORMA's normal-model scan,
+  single-query motif lookups on streams).
+* :func:`znorm_centroid_distances` — z-normalised Euclidean distance of
+  every subsequence to a set of patterns, built on the two above; never
+  materialises the z-normalised window matrix.
+* :func:`matrix_profile` — the self-join profile via cumulative sums along
+  *diagonals* of the pair matrix (the STOMP recurrence in closed form):
+  O(n²) total work, each pair touched once, O(block·n) scratch.  For the
+  self-join this beats batched FFT on CPU — sliding dots of query *i+1*
+  share all but two products with query *i*, which the per-diagonal
+  cumulative sum exploits and an FFT per query cannot.
+
+Equivalence: in float64 the diagonal profile matches the reference matmul
+profile to atol ≤ 1e-8 (property-tested; the two compute the same
+correlations with different summation orders, so bitwise equality is not
+achievable).  The float32 fast path keeps the rolling accumulation in
+float64, leaving only input rounding: profile error ~1e-4, fine for
+anomaly *ranking*.  Windows whose variance sits within ~1e-12 of the
+constant-window clamp may resolve differently from the reference (rolling
+variance vs two-pass variance); exactly constant windows agree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from .precision import resolve_dtype
+
+__all__ = [
+    "moving_mean_std",
+    "sliding_dot_products",
+    "znorm_centroid_distances",
+    "matrix_profile",
+]
+
+#: below this window length the diagonal kernel hands off to the reference
+#: matmul kernel (see :func:`matrix_profile`)
+_MIN_DIAG_WINDOW = 8
+
+
+def moving_mean_std(series: np.ndarray, window: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean and std of every length-``window`` subsequence, via cumulative sums.
+
+    Returns two float64 arrays of length ``len(series) - window + 1``.
+    O(n) time and memory; the variance is computed as ``E[x²] - E[x]²``
+    (clamped at zero), so centre/scale the series first when its magnitude
+    is large relative to its variation.
+    """
+    series = np.asarray(series, dtype=np.float64).ravel()
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if len(series) < window:
+        return np.zeros(0), np.zeros(0)
+    zero = np.zeros(1)
+    csum = np.cumsum(np.concatenate([zero, series]))
+    csq = np.cumsum(np.concatenate([zero, series * series]))
+    mu = (csum[window:] - csum[:-window]) / window
+    var = np.maximum((csq[window:] - csq[:-window]) / window - mu * mu, 0.0)
+    return mu, np.sqrt(var)
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(int(n) - 1, 0).bit_length()
+
+
+def sliding_dot_products(queries: np.ndarray, series: np.ndarray) -> np.ndarray:
+    """Dot product of each query with every same-length subsequence of ``series``.
+
+    MASS-style: one rFFT of the series, one batched rFFT of the (reversed)
+    queries, a pointwise product and an inverse transform.  ``queries`` may
+    be 1-D (one pattern) or 2-D ``(k, w)``; the result is ``(n - w + 1,)``
+    or ``(k, n - w + 1)`` float64.
+    """
+    series = np.asarray(series, dtype=np.float64).ravel()
+    queries = np.asarray(queries, dtype=np.float64)
+    single = queries.ndim == 1
+    q = queries[None, :] if single else queries
+    if q.ndim != 2:
+        raise ValueError("queries must be 1-D or 2-D")
+    w = q.shape[1]
+    n_out = len(series) - w + 1
+    if n_out <= 0:
+        shape = (0,) if single else (q.shape[0], 0)
+        return np.zeros(shape)
+    nfft = _next_pow2(len(series) + w - 1)
+    fs = np.fft.rfft(series, nfft)
+    fq = np.fft.rfft(q[:, ::-1], nfft, axis=1)
+    conv = np.fft.irfft(fq * fs[None, :], nfft, axis=1)
+    out = conv[:, w - 1: w - 1 + n_out]
+    return out[0] if single else out
+
+
+def znorm_centroid_distances(
+    series: np.ndarray,
+    window: int,
+    centroids: np.ndarray,
+    dtype=None,
+) -> np.ndarray:
+    """Distance of every z-normalised subsequence to each centroid pattern.
+
+    Returns ``(n_windows, k)`` distances equal (to rolling-statistics
+    accuracy) to ``norm(zscore(window) - centroid)`` — without building the
+    (n, w) z-normalised window matrix: O(k · n log n) time, O(n · k) memory.
+    Subsequences with (near-)zero variance are treated as all-zero z-vectors,
+    matching :func:`repro.ml.scalers.zscore`'s constant-series convention.
+    """
+    series = np.asarray(series, dtype=np.float64).ravel()
+    centroids = np.atleast_2d(np.asarray(centroids, dtype=np.float64))
+    if centroids.shape[1] != window:
+        raise ValueError(
+            f"centroid length {centroids.shape[1]} does not match window {window}")
+    out_dtype = resolve_dtype(dtype)
+    # Globally centre/scale first: z-normalised windows are invariant to it,
+    # and it keeps the E[x²]−E[x]² rolling variance (and the FFT dot
+    # products) well conditioned for series with a large absolute level.
+    if len(series) >= window:
+        gstd = series.std()
+        series = (series - series.mean()) / (gstd if gstd > 1e-12 else 1.0)
+    mu, sig = moving_mean_std(series, window)
+    clamped = sig < 1e-12
+    inv = 1.0 / np.where(clamped, 1.0, sig)
+    # ||z||² is w for regular windows and ~0 for (near-)constant ones.
+    nz2 = np.where(clamped, 0.0, float(window))
+    qt = sliding_dot_products(centroids, series)        # (k, n_windows)
+    # z_t · c = (x_t · c - mu_t * sum(c)) / sig_t ; zero for clamped windows.
+    zdot = (qt - mu[None, :] * centroids.sum(axis=1)[:, None]) * inv[None, :]
+    zdot[:, clamped] = 0.0
+    c_sq = (centroids ** 2).sum(axis=1)
+    d2 = nz2[:, None] - 2.0 * zdot.T + c_sq[None, :]
+    return np.sqrt(np.maximum(d2, 0.0)).astype(out_dtype, copy=False)
+
+
+def matrix_profile(
+    series: np.ndarray,
+    window: int,
+    exclusion: Optional[int] = None,
+    block: int = 256,
+    dtype=None,
+) -> np.ndarray:
+    """Self-join matrix profile (z-normalised Euclidean, trivial-match excluded).
+
+    Diagonal formulation: for a pair offset ``d``, the sliding dot products
+    ``QT(t, t+d)`` over all ``t`` are rolling-window sums of the product
+    series ``s[t]·s[t+d]`` — one multiply and one cumulative sum per
+    diagonal, processed ``block`` diagonals at a time.  Each pair is touched
+    once (the later index is covered by a strided anti-diagonal maximum over
+    the same block), scratch stays at O(block · n).
+
+    ``dtype`` selects the working precision (the rolling accumulation is
+    always float64); the returned profile is float64.  Series shorter than
+    ``window + exclusion`` have every pair excluded and return zeros, like
+    the reference kernel.
+    """
+    series = np.asarray(series, dtype=np.float64).ravel()
+    if window <= 0:
+        raise ValueError("window must be positive")
+    n = len(series) - window + 1
+    if n <= 0:
+        return np.zeros(max(n, 0))
+    exclusion = exclusion if exclusion is not None else max(1, window // 2)
+    if window < _MIN_DIAG_WINDOW:
+        # Tiny windows amplify the rolling-sum cancellation through 1/sigma
+        # (w=2 z-vectors are ±1 exactly); the blocked matmul is both exact
+        # and cheap there, since its extra factor is O(window).
+        from .reference import matrix_profile_matmul
+
+        return matrix_profile_matmul(series, window, exclusion=exclusion)
+    dt = resolve_dtype(dtype)
+    itemsize = dt.itemsize
+
+    # Global centre/scale: z-normalised distances are invariant to it, and
+    # O(1)-magnitude values keep the cumulative sums well conditioned.
+    gstd = series.std()
+    s64 = (series - series.mean()) / (gstd if gstd > 1e-12 else 1.0)
+    mu64, sig64 = moving_mean_std(s64, window)
+    inv64 = 1.0 / np.where(sig64 < 1e-12, 1.0, sig64)
+
+    a = inv64.astype(dt, copy=False)           # 1 / sigma per window
+    u = (mu64 * inv64).astype(dt, copy=False)  # mu / sigma per window
+    wu = (np.float64(window) * mu64 * inv64).astype(dt, copy=False)  # w·u
+
+    # best[i] = max over partners of the scaled dot q̃ = QT·a_i·a_j − w·u_i·u_j;
+    # d²= 2w − 2·q̃ is monotone decreasing in q̃, so max-q̃ ⇔ min-d² and the
+    # affine step happens once at the end instead of once per pair.
+    best = np.full(n, -np.inf, dtype=dt)
+    d_lo = exclusion + 1
+    blk = max(int(block), 1)
+    if d_lo < n:
+        f64 = np.float64().itemsize
+        # Products and their cumulative sums stay float64 in both precision
+        # modes: NumPy's mixed-dtype cumsum is ~2x slower than the native
+        # one, and float64 accumulation is what keeps the float32 fast
+        # path's profile error at ~1e-3 instead of ~1e0.
+        s_pad64 = np.concatenate([s64, np.zeros(blk)])
+        pad = np.zeros(blk, dtype=dt)
+        a_pad = np.concatenate([a, pad])
+        u_pad = np.concatenate([u, pad])
+        # One buffer set, reused by every block (views shrink with T):
+        # fresh allocations per block would spend more time page-faulting
+        # than computing.
+        T0 = n - d_lo
+        Tp0 = T0 + window - 1
+        P_flat = np.empty(blk * Tp0, dtype=np.float64)
+        C_flat = np.empty(blk * (Tp0 + 1), dtype=np.float64)
+        Q_flat = np.empty(blk * (T0 + blk - 1), dtype=dt)
+        tmp_flat = np.empty(blk * T0, dtype=dt)
+        for d0 in range(d_lo, n, blk):
+            B = min(blk, n - d0)
+            T = n - d0                       # pairs on the longest diagonal
+            Tp = T + window - 1              # product terms feeding those pairs
+            # Row j is diagonal d0+j: P[j, t] = s[t] · s[t + d0 + j].
+            V = as_strided(s_pad64[d0:], shape=(B, Tp), strides=(f64, f64))
+            P = P_flat[:B * Tp].reshape(B, Tp)
+            np.multiply(s64[None, :Tp], V, out=P)
+            C = C_flat[:B * (Tp + 1)].reshape(B, Tp + 1)
+            C[:, 0] = 0.0
+            np.cumsum(P, axis=1, out=C[:, 1:])
+            # Q gets B-1 spare columns so the anti-diagonal view below stays
+            # in bounds; the spare region doubles as the -inf mask.  Rows are
+            # carved back-to-back out of the flat buffer — the skewed view
+            # depends on that adjacency.
+            W = T + B - 1
+            Q = Q_flat[:B * W].reshape(B, W)
+            qt = Q[:, :T]
+            np.subtract(C[:, window:], C[:, :-window], out=qt, casting="same_kind")
+            qt *= a[None, :T]
+            qt *= as_strided(a_pad[d0:], shape=(B, T), strides=(itemsize, itemsize))
+            tmp = tmp_flat[:B * T].reshape(B, T)
+            np.multiply(wu[None, :T],
+                        as_strided(u_pad[d0:], shape=(B, T), strides=(itemsize, itemsize)),
+                        out=tmp)
+            qt -= tmp
+            if B > 1:
+                Q[:, T:] = -np.inf
+            for j in range(1, B):            # ragged corner: partner index ≥ n
+                Q[j, T - j: T] = -np.inf
+            # Earlier pair index: column-wise maximum over the block.
+            np.maximum(best[:T], qt.max(axis=0), out=best[:T])
+            # Later pair index p = t + d0 + j: anti-diagonals of Q, exposed as
+            # rows of a skewed view (out-of-range entries land in the -inf
+            # spare region of the previous row).
+            skew = as_strided(Q, shape=(B, W), strides=((W - 1) * itemsize, itemsize))
+            np.maximum(best[d0:], skew.max(axis=0)[:T], out=best[d0:])
+
+    d2 = 2.0 * window - 2.0 * best.astype(np.float64, copy=False)
+    profile = np.sqrt(np.maximum(d2, 0.0))
+    # A series shorter than ~2 windows may have every pair excluded.
+    profile[~np.isfinite(profile)] = 0.0
+    return profile

@@ -1,0 +1,96 @@
+"""Reference kernels: the pre-accel implementations, kept verbatim.
+
+Every fast kernel in :mod:`repro.accel` ships with an equivalence oracle.
+This module preserves the historical implementations exactly as they were
+before the kernel layer existed, so tests and benchmarks can assert the
+fast paths against the *old code* rather than against a re-derivation:
+
+* :func:`matrix_profile_matmul` — the blocked all-pairs matmul profile
+  (O(n²·w) flops, the original ``detectors.matrix_profile.matrix_profile``),
+* :func:`kneighbors_dense` — full-distance-matrix k-NN (O(n²) memory, the
+  original ``ml.neighbors.kneighbors``),
+* :func:`pairwise_sq_euclidean_dense` — the original two-operand distance
+  expansion.
+
+They are also what small inputs still run through (see
+:func:`repro.ml.neighbors.kneighbors`), so "reference" here means
+*bit-for-bit historical behaviour*, not "slow test-only copy".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def pairwise_sq_euclidean_dense(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances via the ``|a|² + |b|² - 2ab`` expansion."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    a_sq = (a ** 2).sum(axis=1)[:, None]
+    b_sq = (b ** 2).sum(axis=1)[None, :]
+    d = a_sq + b_sq - 2.0 * a @ b.T
+    np.maximum(d, 0.0, out=d)
+    return d
+
+
+def kneighbors_dense(
+    query: np.ndarray,
+    reference: np.ndarray,
+    k: int,
+    exclude_self: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """k-NN over the fully materialised distance matrix (historical path)."""
+    d = pairwise_sq_euclidean_dense(query, reference)
+    if exclude_self:
+        np.fill_diagonal(d, np.inf)
+    k = min(k, d.shape[1] - (1 if exclude_self else 0))
+    k = max(k, 1)
+    idx = np.argpartition(d, kth=k - 1, axis=1)[:, :k]
+    part = np.take_along_axis(d, idx, axis=1)
+    order = np.argsort(part, axis=1)
+    idx = np.take_along_axis(idx, order, axis=1)
+    dist = np.sqrt(np.take_along_axis(part, order, axis=1))
+    return dist, idx
+
+
+def matrix_profile_matmul(
+    series: np.ndarray,
+    window: int,
+    exclusion: int | None = None,
+    chunk: int = 256,
+) -> np.ndarray:
+    """Self-join matrix profile via blocked all-pairs correlation (matmul).
+
+    The original detector kernel: z-normalise every subsequence, then for
+    each chunk of queries compute the full correlation row with one GEMM.
+    O(n²·w) flops, O(chunk·n) scratch.
+    """
+    series = np.asarray(series, dtype=np.float64).ravel()
+    if len(series) < window:
+        return np.zeros(0)
+    from ..detectors.base import sliding_windows  # deferred: detectors import accel
+
+    subs = sliding_windows(series, window)
+    n = subs.shape[0]
+    exclusion = exclusion if exclusion is not None else max(1, window // 2)
+
+    mean = subs.mean(axis=1, keepdims=True)
+    std = subs.std(axis=1, keepdims=True)
+    std = np.where(std < 1e-12, 1.0, std)
+    z = (subs - mean) / std
+
+    profile = np.full(n, np.inf)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        corr = z[start:stop] @ z.T / window  # (chunk, n), values in [-1, 1]
+        d2 = 2.0 * window * (1.0 - corr)
+        for row, query in enumerate(range(start, stop)):
+            lo = max(0, query - exclusion)
+            hi = min(n, query + exclusion + 1)
+            d2[row, lo:hi] = np.inf
+        profile[start:stop] = np.sqrt(np.maximum(d2.min(axis=1), 0.0))
+    # A series shorter than ~2 windows may have every distance excluded.
+    profile[~np.isfinite(profile)] = 0.0
+    return profile

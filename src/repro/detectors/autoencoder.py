@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
-from ..ml.scalers import zscore
+from ..ml.scalers import zscore_rows
 from .base import AnomalyDetector, register_detector, sliding_windows, window_scores_to_point_scores
 
 
@@ -49,7 +49,7 @@ class AutoEncoderDetector(AnomalyDetector):
         series = np.asarray(series, dtype=np.float64).ravel()
         window = self.effective_window(series)
         subs = sliding_windows(series, window)
-        z = np.apply_along_axis(zscore, 1, subs)
+        z = zscore_rows(subs)
 
         rng = np.random.default_rng(self.seed)
         if len(z) > self.max_train_windows:

@@ -14,7 +14,7 @@ from typing import Dict
 import numpy as np
 
 from ..ml.neighbors import kneighbors
-from ..ml.scalers import zscore
+from ..ml.scalers import zscore, zscore_rows
 from .base import (
     AnomalyDetector,
     make_detector,
@@ -48,7 +48,7 @@ class SubsequenceKNNDetector(AnomalyDetector):
         if len(subs) > self.max_windows:
             stride = int(np.ceil(len(subs) / self.max_windows))
             subs = sliding_windows(series, window, stride=stride)
-        z = np.apply_along_axis(zscore, 1, subs)
+        z = zscore_rows(subs)
         k = max(1, min(self.n_neighbors, len(z) - 1))
         dist, _ = kneighbors(z, z, k, exclude_self=True)
         window_scores = dist.mean(axis=1)

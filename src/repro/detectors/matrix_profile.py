@@ -4,40 +4,31 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import AnomalyDetector, register_detector, sliding_windows, window_scores_to_point_scores
+from ..accel import profile as accel_profile
+from .base import AnomalyDetector, register_detector, window_scores_to_point_scores
 
 
-def matrix_profile(series: np.ndarray, window: int, exclusion: int | None = None, chunk: int = 256) -> np.ndarray:
+def matrix_profile(series: np.ndarray, window: int, exclusion: int | None = None,
+                   chunk: int = 256, dtype=None) -> np.ndarray:
     """Compute the self-join matrix profile of ``series``.
 
     Uses z-normalised Euclidean distance between subsequences, excluding a
     trivial-match zone of ``exclusion`` positions around each query.  The
-    computation is a blocked all-pairs correlation (matmul), which is fast
-    enough for the benchmark series lengths used in this reproduction.
+    computation runs on :func:`repro.accel.matrix_profile` — a diagonal
+    cumulative-sum kernel that touches every subsequence pair once, O(n²)
+    total instead of the historical blocked matmul's O(n²·w) (kept as
+    :func:`repro.accel.reference.matrix_profile_matmul`; float64 results
+    agree to atol ≤ 1e-8, asserted by tests and benchmarks).
+
+    Edge cases return all-zero profiles instead of leaking inf/NaN: series
+    shorter than ``window`` (empty profile), a single subsequence, and
+    series so short that every pair falls in the exclusion zone.
     """
     series = np.asarray(series, dtype=np.float64).ravel()
-    subs = sliding_windows(series, window)
-    n = subs.shape[0]
-    exclusion = exclusion if exclusion is not None else max(1, window // 2)
-
-    mean = subs.mean(axis=1, keepdims=True)
-    std = subs.std(axis=1, keepdims=True)
-    std = np.where(std < 1e-12, 1.0, std)
-    z = (subs - mean) / std
-
-    profile = np.full(n, np.inf)
-    for start in range(0, n, chunk):
-        stop = min(start + chunk, n)
-        corr = z[start:stop] @ z.T / window  # (chunk, n), values in [-1, 1]
-        d2 = 2.0 * window * (1.0 - corr)
-        for row, query in enumerate(range(start, stop)):
-            lo = max(0, query - exclusion)
-            hi = min(n, query + exclusion + 1)
-            d2[row, lo:hi] = np.inf
-        profile[start:stop] = np.sqrt(np.maximum(d2.min(axis=1), 0.0))
-    # A series shorter than ~2 windows may have every distance excluded.
-    profile[~np.isfinite(profile)] = 0.0
-    return profile
+    if len(series) < window:
+        return np.zeros(0)
+    return accel_profile.matrix_profile(series, window, exclusion=exclusion,
+                                        block=chunk, dtype=dtype)
 
 
 @register_detector("MP")
@@ -51,5 +42,8 @@ class MatrixProfileDetector(AnomalyDetector):
     def score(self, series: np.ndarray) -> np.ndarray:
         series = np.asarray(series, dtype=np.float64).ravel()
         window = self.effective_window(series)
+        if len(series) < window:
+            # Too short for a single subsequence: no profile, flat scores.
+            return np.zeros(len(series))
         profile = matrix_profile(series, window, chunk=self.chunk)
         return window_scores_to_point_scores(profile, len(series), window)

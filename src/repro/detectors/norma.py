@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..accel.profile import znorm_centroid_distances
 from ..ml.cluster import KMeans
-from ..ml.scalers import zscore
+from ..ml.scalers import zscore_rows
 from .base import AnomalyDetector, register_detector, sliding_windows, window_scores_to_point_scores
 
 
@@ -16,6 +17,12 @@ class NormaDetector(AnomalyDetector):
     Following the NormA idea, the normal model is a weighted set of cluster
     centroids (weights proportional to cluster sizes); the anomaly score of a
     subsequence is its weighted distance to the normal model.
+
+    The normal model is fitted on a strided sample of z-normalised windows;
+    the *scan* — distance of every z-normalised subsequence to every
+    centroid — runs on :func:`repro.accel.znorm_centroid_distances` (MASS
+    rFFT sliding dot products + rolling mean/std), so the full (n, window)
+    z-normalised window matrix is never materialised.
     """
 
     def __init__(self, window: int = 32, n_clusters: int = 4, max_windows: int = 1500, seed: int = 0) -> None:
@@ -27,21 +34,22 @@ class NormaDetector(AnomalyDetector):
     def score(self, series: np.ndarray) -> np.ndarray:
         series = np.asarray(series, dtype=np.float64).ravel()
         window = self.effective_window(series)
-        subs = sliding_windows(series, window)
-        z = np.apply_along_axis(zscore, 1, subs)
+        n_windows = len(series) - window + 1
 
-        # Fit the normal model on a strided sample to keep clustering cheap.
-        if len(z) > self.max_windows:
-            step = int(np.ceil(len(z) / self.max_windows))
-            sample = z[::step]
+        # Fit the normal model on a strided sample to keep clustering cheap;
+        # only the sampled windows are materialised and z-normalised.
+        if n_windows > self.max_windows:
+            step = int(np.ceil(n_windows / self.max_windows))
+            sample = sliding_windows(series, window, stride=step)
         else:
-            sample = z
+            sample = sliding_windows(series, window)
+        sample = zscore_rows(sample)
         k = max(1, min(self.n_clusters, len(sample)))
         km = KMeans(n_clusters=k, seed=self.seed).fit(sample)
         labels, counts = np.unique(km.labels_, return_counts=True)
         weights = np.zeros(len(km.cluster_centers_))
         weights[labels] = counts / counts.sum()
 
-        dists = km.transform(z)  # (n_windows, k)
-        window_scores = (dists * weights[None, :]).sum(axis=1)
+        dists = znorm_centroid_distances(series, window, km.cluster_centers_)
+        window_scores = dists @ weights
         return window_scores_to_point_scores(window_scores, len(series), window)

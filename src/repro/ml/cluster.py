@@ -60,14 +60,18 @@ class KMeans:
 
     @staticmethod
     def _sq_dists(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
-        return ((x[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        # GEMM-based expansion: O(n·k) scratch instead of the (n, k, d)
+        # broadcast cube, and BLAS throughput on the dominant term.
+        from .neighbors import pairwise_sq_euclidean  # deferred: module cycle
+
+        return pairwise_sq_euclidean(x, np.asarray(centers, dtype=np.float64))
 
     @staticmethod
     def _kmeanspp(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
         n = x.shape[0]
         centers = [x[rng.integers(0, n)]]
         for _ in range(1, k):
-            d2 = np.min(((x[:, None, :] - np.asarray(centers)[None, :, :]) ** 2).sum(axis=2), axis=1)
+            d2 = KMeans._sq_dists(x, np.asarray(centers)).min(axis=1)
             total = d2.sum()
             if total <= 0:
                 centers.append(x[rng.integers(0, n)])

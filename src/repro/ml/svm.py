@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..accel.config import memory_budget_bytes
+from ..accel.precision import resolve_dtype
+
 
 class LinearSVC:
     """One-vs-rest linear SVM trained with Pegasos SGD."""
@@ -82,6 +85,7 @@ class OneClassSVM:
         n_components: int = 128,
         n_iter: int = 30,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         if not 0.0 < nu <= 1.0:
             raise ValueError("nu must be in (0, 1]")
@@ -90,6 +94,7 @@ class OneClassSVM:
         self.n_components = n_components
         self.n_iter = n_iter
         self.seed = seed
+        self.dtype = dtype  # None defers to the accel precision policy
         self._w: np.ndarray | None = None
         self._rho: float = 0.0
         self._omega: np.ndarray | None = None
@@ -100,7 +105,8 @@ class OneClassSVM:
         return np.sqrt(2.0 / self.n_components) * np.cos(proj)
 
     def fit(self, x: np.ndarray) -> "OneClassSVM":
-        x = np.asarray(x, dtype=np.float64)
+        dt = resolve_dtype(self.dtype)
+        x = np.asarray(x, dtype=dt)
         n_samples, n_features = x.shape
         rng = np.random.default_rng(self.seed)
 
@@ -109,8 +115,9 @@ class OneClassSVM:
             gamma = 1.0 / (n_features * var) if var > 1e-12 else 1.0 / n_features
         else:
             gamma = float(self.gamma)
-        self._omega = rng.normal(0.0, np.sqrt(2.0 * gamma), size=(n_features, self.n_components))
-        self._phase = rng.uniform(0.0, 2.0 * np.pi, size=self.n_components)
+        self._omega = rng.normal(0.0, np.sqrt(2.0 * gamma),
+                                 size=(n_features, self.n_components)).astype(dt, copy=False)
+        self._phase = rng.uniform(0.0, 2.0 * np.pi, size=self.n_components).astype(dt, copy=False)
 
         phi = self._features(x)
         w = phi.mean(axis=0).copy()
@@ -131,8 +138,18 @@ class OneClassSVM:
     def decision_function(self, x: np.ndarray) -> np.ndarray:
         if self._w is None:
             raise RuntimeError("model must be fitted before scoring")
-        phi = self._features(np.asarray(x, dtype=np.float64))
-        return phi @ self._w - self._rho
+        x = np.asarray(x, dtype=self._omega.dtype)
+        # Chunk the random-feature expansion so scoring scratch stays within
+        # the accel memory budget instead of materialising (n, n_components).
+        chunk = max(1, memory_budget_bytes() // max(
+            2 * self.n_components * x.dtype.itemsize, 1))
+        if len(x) <= chunk:
+            return self._features(x) @ self._w - self._rho
+        out = np.empty(len(x), dtype=x.dtype)
+        for start in range(0, len(x), chunk):
+            stop = min(start + chunk, len(x))
+            out[start:stop] = self._features(x[start:stop]) @ self._w - self._rho
+        return out
 
     def score_samples(self, x: np.ndarray) -> np.ndarray:
         """Anomaly scores: larger means more anomalous."""

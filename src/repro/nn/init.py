@@ -6,6 +6,8 @@ import threading
 
 import numpy as np
 
+from ..accel.precision import resolve_dtype
+
 # The initialisation RNG is thread-local: worker threads (repro.serving's
 # fan-out builds NN detectors concurrently) each get their own stream, so a
 # set_seed() in one thread cannot corrupt the draws of another.  Every
@@ -32,7 +34,7 @@ def xavier_uniform(shape, gain: float = 1.0, rng: np.random.Generator | None = N
     rng = rng or get_rng()
     fan_in, fan_out = _fans(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(resolve_dtype(None), copy=False)
 
 
 def kaiming_uniform(shape, rng: np.random.Generator | None = None) -> np.ndarray:
@@ -40,21 +42,21 @@ def kaiming_uniform(shape, rng: np.random.Generator | None = None) -> np.ndarray
     rng = rng or get_rng()
     fan_in, _ = _fans(shape)
     bound = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(resolve_dtype(None), copy=False)
 
 
 def normal(shape, std: float = 0.02, rng: np.random.Generator | None = None) -> np.ndarray:
     """Gaussian initialisation with the given standard deviation."""
     rng = rng or get_rng()
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(resolve_dtype(None), copy=False)
 
 
 def zeros(shape) -> np.ndarray:
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=resolve_dtype(None))
 
 
 def ones(shape) -> np.ndarray:
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=resolve_dtype(None))
 
 
 def _fans(shape) -> tuple[int, int]:

@@ -18,6 +18,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..accel.precision import resolve_dtype
+
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 # Grad tracking is a *thread-local* flag: one worker thread entering
@@ -47,9 +49,13 @@ def is_grad_enabled() -> bool:
     return getattr(_grad_state, "enabled", True)
 
 
-def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(data: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(data, Tensor):
         return data.data
+    if dtype is None:
+        # The accel precision policy decides the default dtype: float64
+        # unless the caller opted into the float32 fast path.
+        dtype = resolve_dtype(None)
     arr = np.asarray(data, dtype=dtype)
     return arr
 
@@ -151,7 +157,7 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.zeros_like(self.data, dtype=np.float64)
+            self.grad = np.zeros_like(self.data, dtype=self.data.dtype)
         self.grad += grad
 
     # ------------------------------------------------------------------ #
@@ -397,7 +403,7 @@ class Tensor:
                     shape.insert(ax, 1)
                 grad = grad.reshape(shape)
                 expanded = np.asarray(out_data).reshape(shape)
-            mask = (self.data == expanded).astype(np.float64)
+            mask = (self.data == expanded).astype(self.data.dtype)
             # Split gradient evenly among ties to keep the op well defined.
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate(mask * grad / np.maximum(counts, 1.0))
@@ -451,7 +457,7 @@ class Tensor:
 
         def _backward() -> None:
             if self.requires_grad:
-                grad = np.zeros_like(self.data, dtype=np.float64)
+                grad = np.zeros_like(self.data, dtype=self.data.dtype)
                 np.add.at(grad, index, out.grad)
                 self._accumulate(grad)
 
@@ -484,8 +490,8 @@ class Tensor:
             Defaults to ones (appropriate for scalar losses).
         """
         if grad is None:
-            grad = np.ones_like(self.data, dtype=np.float64)
-        self.grad = np.asarray(grad, dtype=np.float64)
+            grad = np.ones_like(self.data, dtype=self.data.dtype)
+        self.grad = np.asarray(grad, dtype=self.data.dtype)
 
         topo: list[Tensor] = []
         visited: set[int] = set()

@@ -54,8 +54,10 @@ class ServingConfig:
     aggregation: str = "vote"
     #: maximum number of cached selection results (LRU beyond that)
     cache_capacity: int = 4096
-    #: thread count for detection fan-out; 0 runs sequentially
+    #: worker count for detection fan-out; 0 runs sequentially
     max_workers: int = 0
+    #: ``"thread"`` or ``"process"`` (fork) for the detection fan-out
+    worker_mode: str = "thread"
     #: windows per selector forward chunk (memory/latency trade-off)
     predict_batch_size: int = DEFAULT_PREDICT_BATCH_SIZE
 
@@ -96,7 +98,7 @@ class SelectionService:
         self.detector_names = list(detector_names)
         self.config = config or ServingConfig()
         self.cache = LRUCache(self.config.cache_capacity)
-        self.workers = WorkerPool(self.config.max_workers)
+        self.workers = WorkerPool(self.config.max_workers, mode=self.config.worker_mode)
 
     # ------------------------------------------------------------------ #
     # construction helpers

@@ -2,36 +2,67 @@
 
 A :class:`WorkerPool` maps a function over a list of items either
 sequentially (``max_workers=0``, the default — no threads, deterministic
-execution order, trivially debuggable) or on a thread pool.  Results always
-come back in input order regardless of completion order, so callers can
-treat the two modes interchangeably.
+execution order, trivially debuggable), on a thread pool, or on a pool of
+forked processes.  Results always come back in input order regardless of
+completion order, so callers can treat the modes interchangeably.
 
-Threads (not processes) are the right tool here: the expensive fan-out
-payloads — running a detector over a series, scoring an oracle row — spend
-most of their time inside NumPy, which releases the GIL for the heavy
-array operations.
+**Threads** (``mode="thread"``) are right when the payload spends its time
+inside NumPy, which releases the GIL for the heavy array operations —
+distance kernels, GEMMs, the matrix-profile kernel.
+
+**Processes** (``mode="process"``, opt-in) are right when the payload is
+GIL-bound Python — the autograd tape of the neural detectors (AE /
+LSTM-AD / CNN) in an oracle labelling pass is mostly Python-level
+bookkeeping, so threads serialise on the GIL there.  The pool forks, so
+children inherit the parent's memory: the function, the item list and any
+series arrays they close over are shared copy-on-write — nothing is
+pickled on the way *in*, only results on the way out.  Platforms without
+``fork`` (Windows / some macOS configurations) fall back to threads.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+WORKER_MODES = ("thread", "process")
+
+#: payload of an in-flight fork-pool map; children inherit it through fork,
+#: so only the integer item index crosses the pipe on the way in.  The lock
+#: serialises concurrent process-mode maps from different threads — without
+#: it, one thread's fork could pick up another thread's payload.
+_fork_payload: Optional[Tuple[Callable, Sequence]] = None
+_fork_lock = threading.Lock()
+
+
+def _fork_invoke(index: int):
+    fn, items = _fork_payload
+    return fn(items[index])
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
 
 class WorkerPool:
-    """Map work over items, sequentially or on a bounded thread pool."""
+    """Map work over items: sequentially, on threads, or on forked processes."""
 
-    def __init__(self, max_workers: int = 0) -> None:
+    def __init__(self, max_workers: int = 0, mode: str = "thread") -> None:
         if max_workers < 0:
             raise ValueError("max_workers must be >= 0 (0 means sequential)")
+        if mode not in WORKER_MODES:
+            raise ValueError(f"unknown worker mode {mode!r}; expected one of {WORKER_MODES}")
         self.max_workers = max_workers
+        self.mode = mode
 
     @property
     def is_parallel(self) -> bool:
-        """Whether this pool actually spawns threads (needs >= 2 workers)."""
+        """Whether this pool actually fans out (needs >= 2 workers)."""
         return self.max_workers >= 2
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
@@ -39,13 +70,36 @@ class WorkerPool:
         items = list(items)
         if not self.is_parallel or len(items) <= 1:
             return [fn(item) for item in items]
-        with ThreadPoolExecutor(max_workers=min(self.max_workers, len(items))) as pool:
+        workers = min(self.max_workers, len(items))
+        if self.mode == "process" and _fork_available():
+            return self._map_forked(fn, items, workers)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items))
+
+    @staticmethod
+    def _map_forked(fn: Callable[[T], R], items: List[T], workers: int) -> List[R]:
+        global _fork_payload
+        if _fork_payload is not None:
+            # This process *is* a forked worker (it inherited an in-flight
+            # payload): a nested process fan-out would fork a pool from
+            # inside a pool, so run this level inline instead.
+            return [fn(item) for item in items]
+        with _fork_lock:
+            _fork_payload = (fn, items)
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(processes=workers) as pool:
+                    return pool.map(_fork_invoke, range(len(items)))
+            finally:
+                _fork_payload = None
 
     def starmap(self, fn: Callable[..., R], items: Iterable[Sequence]) -> List[R]:
         """Like :meth:`map` but unpacks each item as positional arguments."""
         return self.map(lambda args: fn(*args), items)
 
     def __repr__(self) -> str:
-        mode = f"threads={self.max_workers}" if self.is_parallel else "sequential"
+        if self.is_parallel:
+            mode = f"{self.mode}s={self.max_workers}"
+        else:
+            mode = "sequential"
         return f"WorkerPool({mode})"

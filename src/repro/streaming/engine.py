@@ -58,7 +58,9 @@ class StreamingConfig:
     cache_capacity: int = 0
     #: cross-stream forward-batch budget, in selector windows
     max_batch_windows: int = 8192
-    #: thread count for per-stream scoring fan-out; 0 runs sequentially
+    #: thread count for per-stream scoring fan-out; 0 runs sequentially.
+    #: Always threads: scorer updates mutate per-stream state in place,
+    #: which a forked process could not hand back.
     max_workers: int = 0
     #: drift monitoring configuration; ``None`` disables re-selection
     drift: Optional[DriftConfig] = None

@@ -55,17 +55,20 @@ def compare_models(
     model_set: Dict[str, AnomalyDetector],
     names: Optional[Sequence[str]] = None,
     max_workers: int = 0,
+    worker_mode: str = "thread",
 ) -> Dict[str, DetectionResult]:
     """Run several candidate detectors on the same series (comparative analysis).
 
-    ``max_workers >= 2`` fans the detector runs out to a thread pool (the
+    ``max_workers >= 2`` fans the detector runs out to a worker pool (the
     detectors are independent of each other); the default runs sequentially.
+    ``worker_mode="process"`` forks the workers — worthwhile when the
+    candidate set includes the GIL-bound neural detectors.
     """
     names = list(names) if names is not None else list(model_set)
     for name in names:
         if name not in model_set:
             raise KeyError(f"detector {name!r} is not part of the model set")
-    pool = WorkerPool(max_workers)
+    pool = WorkerPool(max_workers, mode=worker_mode)
     results = pool.map(
         lambda name: run_detection(record, model_set[name], detector_name=name), names
     )

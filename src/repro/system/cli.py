@@ -47,6 +47,42 @@ from .reporting import format_table
 from .selector_store import SelectorStore
 
 
+def _add_runtime_args(parser: argparse.ArgumentParser, workers: bool = True,
+                      worker_mode: bool = True) -> None:
+    """Shared runtime flags: precision and worker fan-out.
+
+    Defaults come from the environment (``REPRO_PRECISION``,
+    ``REPRO_MAX_WORKERS``, ``REPRO_WORKER_MODE``); the flags override it.
+    ``worker_mode=False`` is for commands whose fan-out is thread-only
+    (the stream engine's scorer updates mutate per-stream state in place).
+    """
+    group = parser.add_argument_group("runtime")
+    group.add_argument("--precision", choices=["float32", "float64"], default=None,
+                       help="kernel precision (default: $REPRO_PRECISION or float64)")
+    if workers:
+        group.add_argument("--workers", type=int, default=None,
+                           help="fan-out worker count, 0 = sequential "
+                                "(default: $REPRO_MAX_WORKERS or 0)")
+        if worker_mode:
+            group.add_argument("--worker-mode", choices=["thread", "process"],
+                               default=None,
+                               help="worker pool backing "
+                                    "(default: $REPRO_WORKER_MODE or thread)")
+
+
+def _apply_runtime_args(args: argparse.Namespace) -> None:
+    """Resolve the runtime flags against the environment, set the precision."""
+    from ..accel import config as accel_config
+    from ..accel.precision import set_default_precision
+
+    if getattr(args, "precision", None) is not None:
+        set_default_precision(args.precision)
+    if hasattr(args, "workers"):
+        args.workers = accel_config.default_max_workers(args.workers)
+    if hasattr(args, "worker_mode"):
+        args.worker_mode = accel_config.default_worker_mode(args.worker_mode)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="kdselector",
@@ -68,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     label.add_argument("--detector-window", type=int, default=24)
     label.add_argument("--metric", default="auc_pr", choices=["auc_pr", "auc_roc", "best_f1"])
     label.add_argument("--cache-dir", type=Path, default=None)
+    _add_runtime_args(label)
 
     train = sub.add_parser("train", help="train a selector on labelled historical data")
     train.add_argument("data_dir", type=Path)
@@ -114,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--detector-window", type=int, default=24)
     detect.add_argument("--scores-output", type=Path, default=None,
                         help="optional CSV to write the point-wise anomaly scores to")
+    _add_runtime_args(detect, workers=False)
 
     batch = sub.add_parser("batch-select",
                            help="batched, cached model selection over a directory of series")
@@ -127,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batch size cap, in selector windows")
     batch.add_argument("--repeat", type=int, default=1,
                        help="serve the directory this many times (>1 shows warm-cache speed)")
+    _add_runtime_args(batch)
 
     serve = sub.add_parser("serve",
                            help="read series file paths from stdin, answer each as a JSON line")
@@ -135,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--window", type=int, default=96)
     serve.add_argument("--aggregation", default="vote", choices=["vote", "mean"])
     serve.add_argument("--cache-capacity", type=int, default=4096)
+    _add_runtime_args(serve)
 
     stream = sub.add_parser("stream",
                             help="replay series files (or stdin ticks) through the "
@@ -162,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--detector-window", type=int, default=24)
     stream.add_argument("--emit", default="all", choices=["all", "changes"],
                         help="print every tick update or only selection changes")
+    _add_runtime_args(stream, worker_mode=False)
 
     list_cmd = sub.add_parser("list-selectors", help="show the contents of a selector store")
     list_cmd.add_argument("--store", type=Path, default=Path("selector_store"))
@@ -189,9 +230,11 @@ def _detector_names_path(performance_path: Path) -> Path:
 
 
 def _cmd_label(args: argparse.Namespace) -> int:
+    _apply_runtime_args(args)
     records = load_series_directory(args.data_dir)
     model_set = make_default_model_set(window=args.detector_window, fast=True)
-    oracle = Oracle(model_set, metric=args.metric, cache_dir=args.cache_dir, verbose=True)
+    oracle = Oracle(model_set, metric=args.metric, cache_dir=args.cache_dir, verbose=True,
+                    max_workers=args.workers, worker_mode=args.worker_mode)
     matrix = oracle.performance_matrix(records)
     args.output.parent.mkdir(parents=True, exist_ok=True)
     np.savez(args.output, performance=matrix, names=np.array([r.name for r in records], dtype="U64"))
@@ -276,6 +319,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
+    _apply_runtime_args(args)
     record = load_series_file(args.series_file)
     selector = SelectorStore(args.store).load(args.name)
     model_set = make_default_model_set(window=args.detector_window, fast=True)
@@ -301,12 +345,16 @@ def _make_service(args: argparse.Namespace) -> "SelectionService":
         window=args.window,
         aggregation=args.aggregation,
         cache_capacity=args.cache_capacity,
+        max_workers=args.workers,
+        worker_mode=args.worker_mode,
     )
     return SelectionService.from_store(args.store, args.name, DEFAULT_MODEL_NAMES, config)
 
 
 def _cmd_batch_select(args: argparse.Namespace) -> int:
     import time
+
+    _apply_runtime_args(args)
 
     from ..serving import microbatches
     from .reporting import format_cache_stats
@@ -341,6 +389,7 @@ def _cmd_batch_select(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .reporting import format_cache_stats
 
+    _apply_runtime_args(args)
     service = _make_service(args)
     for line in sys.stdin:
         path = line.strip()
@@ -369,6 +418,7 @@ def _make_stream_engine(args: argparse.Namespace) -> "StreamEngine":
         aggregation=args.aggregation,
         cache_capacity=args.cache_capacity,
         max_batch_windows=args.max_batch_windows,
+        max_workers=args.workers,
         drift=(DriftConfig(threshold=args.drift_threshold)
                if args.drift_threshold is not None else None),
     )
@@ -396,6 +446,7 @@ def _format_stream_stats(stats) -> str:
 def _cmd_stream(args: argparse.Namespace) -> int:
     from ..streaming import parse_tick_line, replay_records
 
+    _apply_runtime_args(args)
     engine = _make_stream_engine(args)
 
     def emit(update) -> None:

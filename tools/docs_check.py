@@ -23,7 +23,7 @@ from typing import List
 
 ROOT = Path(__file__).resolve().parent.parent
 
-REQUIRED_DOCS = ["README.md", "docs/architecture.md", "docs/cli.md"]
+REQUIRED_DOCS = ["README.md", "docs/architecture.md", "docs/cli.md", "docs/performance.md"]
 
 #: Matches inline Markdown links; group 1 is the target.
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
