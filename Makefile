@@ -1,9 +1,12 @@
 # Developer entry points. Run from the repository root.
 #
 #   make test        - tier-1 test suite (the gate every PR must keep green)
-#   make bench-smoke - fast serving + streaming + kernel benchmarks
-#                      (assert speedups; kernel smoke gates against
-#                      benchmarks/baselines.json with a 20% regression margin)
+#   make chaos       - fault-injection suite for the sharded service
+#                      (shard kills, hangs, flaky transport) under a hard
+#                      wall-clock timeout
+#   make bench-smoke - fast serving + streaming + kernel + service benchmarks
+#                      (assert speedups; smoke runs gate against
+#                      benchmarks/baselines.json with recorded margins)
 #   make bench       - every paper-table benchmark (slow: trains many selectors)
 #   make stream-demo - run the streaming quickstart example end to end
 #   make docs-check  - docstring + documentation-link checks
@@ -11,14 +14,22 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-smoke bench stream-demo docs-check
+#: hard wall-clock ceiling for the chaos suite — a hung shard or a stuck
+#: recovery loop must fail the build, not wedge it
+CHAOS_TIMEOUT ?= 600
+
+.PHONY: test chaos bench-smoke bench stream-demo docs-check
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
+chaos:
+	PYTHONPATH=$(PYTHONPATH) timeout $(CHAOS_TIMEOUT) $(PYTHON) -m pytest -x -q tests/chaos
+
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q benchmarks/bench_serving_throughput.py benchmarks/bench_streaming_throughput.py
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_detector_kernels.py --smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_service_scalability.py --smoke
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q benchmarks/

@@ -198,11 +198,14 @@ def run_smoke(record: bool = False) -> int:
     print(f"smoke measurements: {json.dumps(measured)}")
 
     if record:
-        BASELINES_PATH.write_text(json.dumps({
-            "description": "bench_detector_kernels --smoke baselines "
-                           "(speedup/memory ratios; regenerate with --record)",
-            "smoke": measured,
-        }, indent=2) + "\n")
+        # merge into the shared baselines file — other benchmarks keep
+        # their own sections (e.g. service_smoke)
+        baselines_doc = json.loads(BASELINES_PATH.read_text()) \
+            if BASELINES_PATH.exists() else {}
+        baselines_doc["description"] = ("bench_detector_kernels --smoke baselines "
+                                        "(speedup/memory ratios; regenerate with --record)")
+        baselines_doc["smoke"] = measured
+        BASELINES_PATH.write_text(json.dumps(baselines_doc, indent=2) + "\n")
         print(f"recorded baselines -> {BASELINES_PATH}")
         return 0
 

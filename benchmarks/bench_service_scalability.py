@@ -1,0 +1,216 @@
+"""Benchmark: sharded-service push throughput and scalability.
+
+Pins the acceptance claim of the ``repro.service`` layer: on a population
+of **≥ 2000 streams**, aggregate push throughput at 4 shards is **≥ 3x**
+the 1-shard service (shards compute their batches in parallel processes;
+the front end fans `push_batch` requests out concurrently).  The speedup
+claim needs real cores — on machines with fewer than 4 CPUs the 4-shard
+run cannot physically outrun one shard, so there the benchmark instead
+bounds the sharding *overhead* (a 4-shard service must keep at least 30 %
+of single-shard throughput) and the 3x assertion is skipped.
+
+Every configuration also re-checks correctness: the per-stream updates of
+a sampled subset must be bitwise-equal to the in-process
+:class:`StreamEngine` on the same traffic.
+
+Run modes:
+
+* ``pytest benchmarks/bench_service_scalability.py`` — full scale
+  (2000 streams, shards 1/2/4; asserts the criteria above).
+* ``python benchmarks/bench_service_scalability.py --smoke`` — CI gate at
+  reduced scale: measures single-shard push throughput and the 2-shard
+  throughput ratio, then compares against the ``service_smoke`` section of
+  ``benchmarks/baselines.json`` and fails on a > 20 % regression.
+  ``--record`` rewrites that section from the current machine (other
+  sections are preserved).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import TrainerConfig
+from repro.data import build_selector_dataset, generate_series
+from repro.selectors import make_selector
+from repro.service import ServiceConfig, ShardedService, make_engine_factory
+from repro.streaming import StreamEngine, StreamingConfig
+
+BASELINES_PATH = Path(__file__).resolve().parent / "baselines.json"
+
+#: the acceptance criterion runs at this scale
+FULL_STREAMS = 2000
+FULL_SHARDS = (1, 2, 4)
+SMOKE_STREAMS = 128
+SMOKE_SHARDS = (1, 2)
+
+TICKS = 3
+CHUNK = 64
+WINDOW = 64
+
+#: smoke gate: per-metric regression floors (fraction of recorded baseline).
+#: Absolute throughput is load-sensitive on shared machines, so it gets a
+#: wider margin than the shard ratio.
+SMOKE_TOLERANCES = {
+    "push_points_per_s_1shard": 0.5,
+    "shard2_throughput_ratio": 0.8,
+}
+
+
+def _world():
+    """A small trained selector — training cost is not what's measured."""
+    train_records = [generate_series(name, 0, 400, seed=4)
+                     for name in ("ECG", "IOPS", "MGAB", "SMD")]
+    detector_names = ["IForest", "HBOS", "MP", "POLY"]
+    gen = np.random.default_rng(9)
+    matrix = gen.uniform(0.05, 0.4, size=(len(train_records), len(detector_names)))
+    matrix[np.arange(len(train_records)), np.arange(len(train_records))] += 0.5
+    dataset = build_selector_dataset(train_records, matrix, detector_names,
+                                     window=WINDOW, stride=WINDOW)
+    selector = make_selector("MLP", window=WINDOW, n_classes=4, hidden=16,
+                             feature_dim=8, seed=0)
+    selector.fit(dataset, config=TrainerConfig(epochs=2, batch_size=32))
+    return selector, detector_names
+
+
+def _traffic(n_streams: int):
+    gen = np.random.default_rng(23)
+    return {f"stream-{i:05d}": gen.normal(size=TICKS * CHUNK)
+            for i in range(n_streams)}
+
+
+def _drive(target, streams) -> tuple[dict, float]:
+    """Push the traffic in ticks; returns (final updates, elapsed seconds)."""
+    updates = {}
+    start = time.perf_counter()
+    for tick in range(TICKS):
+        for sid, series in streams.items():
+            target.append(sid, series[tick * CHUNK:(tick + 1) * CHUNK])
+        for sid, update in target.flush().items():
+            updates[sid] = update.as_dict() if hasattr(update, "as_dict") else update
+    return updates, time.perf_counter() - start
+
+
+def run_service_bench(n_streams: int, shard_counts, repeats: int = 1,
+                      verbose: bool = True) -> dict:
+    selector, detector_names = _world()
+    config = StreamingConfig(window=WINDOW, stride=WINDOW)
+    streams = _traffic(n_streams)
+    total_points = n_streams * TICKS * CHUNK
+    factory = make_engine_factory(selector, detector_names, config)
+
+    engine = StreamEngine(selector, detector_names, config)
+    reference, t_engine = _drive(engine, streams)
+    if verbose:
+        print(f"in-process engine   {n_streams:>5} streams  "
+              f"{total_points / t_engine:10.0f} points/s")
+
+    # warm-up: fork/import/allocator effects must not bias the first
+    # configuration measured (they otherwise inflate later ratios)
+    warmup = {sid: streams[sid] for sid in sorted(streams)[:16]}
+    with ShardedService(factory, ServiceConfig(n_shards=shard_counts[0])) as service:
+        _drive(service, warmup)
+
+    sample = sorted(streams)[:: max(1, n_streams // 32)]
+    rows = {}
+    for n_shards in shard_counts:
+        best = 0.0
+        for _ in range(max(repeats, 1)):
+            with ShardedService(factory, ServiceConfig(n_shards=n_shards)) as service:
+                updates, elapsed = _drive(service, streams)
+                for sid in sample:  # bitwise equality on the sampled streams
+                    assert updates[sid] == reference[sid], sid
+            best = max(best, total_points / elapsed)
+        rows[n_shards] = best
+        if verbose:
+            ratio = rows[n_shards] / rows[shard_counts[0]]
+            print(f"sharded service     {n_streams:>5} streams  "
+                  f"{rows[n_shards]:10.0f} points/s  "
+                  f"shards={n_shards}  ({ratio:4.2f}x vs {shard_counts[0]})")
+    return {"points_per_s": rows, "engine_points_per_s": total_points / t_engine}
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry point (full scale — the acceptance criterion)
+# --------------------------------------------------------------------------- #
+def test_four_shards_scale_push_throughput():
+    result = run_service_bench(FULL_STREAMS, FULL_SHARDS)
+    rows = result["points_per_s"]
+    ratio = rows[4] / rows[1]
+    if (os.cpu_count() or 1) >= 4:
+        assert ratio >= 3.0, (
+            f"4-shard throughput only {ratio:.2f}x of 1-shard on "
+            f"{FULL_STREAMS} streams (criterion: >= 3x)")
+    else:
+        # without 4 cores a parallel speedup is physically impossible;
+        # bound the sharding overhead instead
+        assert ratio >= 0.3, (
+            f"4-shard overhead too high: {ratio:.2f}x of 1-shard throughput "
+            f"on a {os.cpu_count()}-core machine")
+
+
+# --------------------------------------------------------------------------- #
+# smoke mode (CI gate against recorded baselines)
+# --------------------------------------------------------------------------- #
+def run_smoke(record: bool = False) -> int:
+    result = run_service_bench(SMOKE_STREAMS, SMOKE_SHARDS, repeats=2)
+    rows = result["points_per_s"]
+    measured = {
+        "push_points_per_s_1shard": round(rows[1], 1),
+        "shard2_throughput_ratio": round(rows[2] / rows[1], 3),
+    }
+    print(f"smoke measurements: {json.dumps(measured)}")
+
+    baselines_doc = json.loads(BASELINES_PATH.read_text()) \
+        if BASELINES_PATH.exists() else {}
+    if record:
+        baselines_doc["service_smoke"] = {
+            "description": "bench_service_scalability --smoke baselines "
+                           "(regenerate with --record)",
+            **measured,
+        }
+        BASELINES_PATH.write_text(json.dumps(baselines_doc, indent=2) + "\n")
+        print(f"recorded service baselines -> {BASELINES_PATH}")
+        return 0
+
+    baselines = {k: v for k, v in baselines_doc.get("service_smoke", {}).items()
+                 if k != "description"}
+    if not baselines:
+        print("no recorded service baselines; run with --record first")
+        return 1
+    failures = []
+    for key, baseline in baselines.items():
+        tolerance = SMOKE_TOLERANCES.get(key, 0.8)
+        floor = tolerance * baseline
+        if measured[key] < floor:
+            failures.append(f"{key}: measured {measured[key]:.2f} < "
+                            f"{floor:.2f} ({tolerance:.0%} of baseline "
+                            f"{baseline:.2f})")
+    if failures:
+        print("SMOKE REGRESSION:\n  " + "\n  ".join(failures))
+        return 1
+    print("service smoke OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced-scale CI gate against baselines.json")
+    parser.add_argument("--record", action="store_true",
+                        help="rewrite the service section of baselines.json")
+    args = parser.parse_args()
+    if args.smoke or args.record:
+        return run_smoke(record=args.record)
+    test_four_shards_scale_push_throughput()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Sharded streaming service: supervised shard processes behind one front end.
+
+``repro.service`` scales :class:`repro.streaming.StreamEngine` past one
+process: N forked shards each own a consistent-hash slice of the stream
+population and run a full engine for it, while a lightweight front end
+routes requests, hands series over through shared memory (zero-copy), and
+replays streams onto restarted or rebalanced shards from its journal.
+Selections and scores are bitwise-equal to the single-process engine.
+
+Entry points: :class:`ShardedService` (in-process Python API),
+:class:`ServiceFrontend` (asyncio TCP server; the ``serve-sharded`` CLI
+command), and :class:`FaultInjector` (deterministic transport chaos for
+the fault-injection suite under ``tests/chaos/``).
+"""
+
+from .frontend import ServiceConfig, ServiceFrontend, ShardedService, make_engine_factory
+from .ring import HashRing
+from .shard import ShardServer, shard_main
+from .supervisor import ShardHandle, ShardSupervisor
+from .transport import (
+    FaultInjector,
+    FaultPlan,
+    FrameReader,
+    SharedSegmentCache,
+    SharedSeriesBuffer,
+    ShardClient,
+    ShardTimeoutError,
+    TransportError,
+    attach_shared_array,
+    encode_message,
+    recv_message,
+    send_message,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FrameReader",
+    "HashRing",
+    "ServiceConfig",
+    "ServiceFrontend",
+    "ShardClient",
+    "ShardHandle",
+    "ShardServer",
+    "ShardSupervisor",
+    "ShardTimeoutError",
+    "ShardedService",
+    "SharedSegmentCache",
+    "SharedSeriesBuffer",
+    "TransportError",
+    "attach_shared_array",
+    "encode_message",
+    "make_engine_factory",
+    "recv_message",
+    "send_message",
+    "shard_main",
+]

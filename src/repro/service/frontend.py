@@ -1,0 +1,489 @@
+"""The service front end: routing, recovery orchestration, TCP serving.
+
+:class:`ShardedService` is the authoritative router.  It owns
+
+* the :class:`HashRing` mapping stream ids to shards,
+* the per-stream :class:`SharedSeriesBuffer` (the zero-copy handoff *and*
+  the durable record recovery replays from),
+* the per-stream **journal** of flush boundaries (which prefixes were
+  flushed together — the information that makes replay bitwise-exact),
+* a front-end selection LRU, refreshed by push responses and backed by the
+  per-shard ``select`` memo, with **broadcast invalidation** to every shard
+  whenever a drift re-selection changes a stream's answer, and
+* the :class:`ShardSupervisor` and one :class:`ShardClient` per shard.
+
+Failure handling is centralised in :meth:`ShardedService._request`: any
+transport error or request timeout triggers supervised recovery — SIGKILL
++ respawn via the supervisor, then a ``replay`` of every stream the ring
+assigns to that shard — and the original request is retried once.  Because
+the journal is committed only after a shard acknowledged a flush, the
+retry is exactly-once: a shard that died before acknowledging is replayed
+to its pre-tick state and the tick is re-applied.
+
+:class:`ServiceFrontend` wraps the router in a stdlib-``asyncio`` TCP
+server speaking the same length-prefixed JSON protocol, which is what the
+``serve-sharded`` CLI command runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..detectors.base import AnomalyDetector
+from ..selectors.base import Selector
+from ..serving.cache import LRUCache
+from ..streaming.engine import StreamEngine, StreamingConfig
+from .ring import HashRing
+from .supervisor import ShardSupervisor
+from .transport import (
+    FaultInjector,
+    SharedSeriesBuffer,
+    ShardClient,
+    ShardTimeoutError,
+    TransportError,
+    encode_message,
+)
+
+
+def make_engine_factory(
+    selector: Selector,
+    detector_names: Sequence[str],
+    config: Optional[StreamingConfig] = None,
+    model_set: Optional[Dict[str, AnomalyDetector]] = None,
+) -> Callable[[], StreamEngine]:
+    """A picklable-free engine builder for forked shards.
+
+    The closure (selector weights included) reaches the shard through fork
+    inheritance — engine construction happens inside the child, so shards
+    never share mutable engine state with the parent or each other.
+    """
+    def build() -> StreamEngine:
+        return StreamEngine(selector, detector_names, config, model_set=model_set)
+    return build
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Topology and routing knobs of the sharded service."""
+
+    #: number of shard processes to start with
+    n_shards: int = 2
+    #: virtual nodes per shard on the consistent-hash ring
+    ring_replicas: int = 128
+    #: per-request timeout before a shard is declared hung and restarted
+    request_timeout_s: float = 10.0
+    #: front-end selection LRU entries (0 disables)
+    selection_cache_capacity: int = 4096
+    #: initial shared-memory capacity per stream, in points
+    initial_stream_capacity: int = 2048
+
+
+class ShardedService:
+    """Route stream traffic across supervised shard processes."""
+
+    def __init__(
+        self,
+        engine_factory: Callable[[], StreamEngine],
+        config: Optional[ServiceConfig] = None,
+        injector_factory: Optional[Callable[[str], Optional[FaultInjector]]] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        if self.config.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self._injector_factory = injector_factory or (lambda shard_id: None)
+        self.supervisor = ShardSupervisor(engine_factory)
+        self.ring = HashRing(replicas=self.config.ring_replicas)
+        self._clients: Dict[str, ShardClient] = {}
+        self._buffers: Dict[str, SharedSeriesBuffer] = {}
+        #: per-stream flushed-prefix lengths, in flush order (the journal)
+        self._journal: Dict[str, List[int]] = {}
+        self._staged: set = set()
+        self._selection_cache = (LRUCache(self.config.selection_cache_capacity)
+                                 if self.config.selection_cache_capacity > 0 else None)
+        self._next_shard_index = 0
+        self._closed = False
+        #: counters surfaced in :meth:`stats`
+        self.recoveries = 0
+        self.invalidations_broadcast = 0
+        for _ in range(self.config.n_shards):
+            self.add_shard(rebalance=False)
+
+    # ------------------------------------------------------------------ #
+    # shard management
+    # ------------------------------------------------------------------ #
+    @property
+    def shard_ids(self) -> List[str]:
+        return self.ring.shard_ids
+
+    def shard_pid(self, shard_id: str) -> Optional[int]:
+        """The shard's current pid (the chaos harness's kill target)."""
+        return self.supervisor.handles[shard_id].pid
+
+    def _connect(self, shard_id: str) -> ShardClient:
+        handle = self.supervisor.handles[shard_id]
+        client = ShardClient(handle.port,
+                             timeout_s=self.config.request_timeout_s,
+                             injector=self._injector_factory(shard_id))
+        self._clients[shard_id] = client
+        return client
+
+    def add_shard(self, shard_id: Optional[str] = None, rebalance: bool = True) -> str:
+        """Grow the topology by one shard; owned streams move to it.
+
+        The hash ring guarantees only ~K/N streams move; each moved stream
+        is replayed on the new shard from its shared buffer and dropped
+        from its previous owner (deterministic rebalance).
+        """
+        if shard_id is None:
+            shard_id = f"shard-{self._next_shard_index}"
+        self._next_shard_index += 1
+        previous_owner = {stream: self.ring.owner(stream) for stream in self._buffers} \
+            if len(self.ring) else {}
+        self.supervisor.spawn(shard_id)
+        self._connect(shard_id)
+        self.ring.add(shard_id)
+        if rebalance and previous_owner:
+            moved = [stream for stream in self._buffers
+                     if self.ring.owner(stream) == shard_id]
+            self._replay_streams(shard_id, moved)
+            by_old_owner: Dict[str, List[str]] = {}
+            for stream in moved:
+                by_old_owner.setdefault(previous_owner[stream], []).append(stream)
+            for old_owner, streams in sorted(by_old_owner.items()):
+                self._request(old_owner, "drop_streams", streams=streams)
+        return shard_id
+
+    def remove_shard(self, shard_id: str) -> None:
+        """Shrink the topology; the shard's streams move to their new owners."""
+        if len(self.ring) <= 1:
+            raise ValueError("cannot remove the last shard")
+        moved = [stream for stream in self._buffers
+                 if self.ring.owner(stream) == shard_id]
+        self.ring.remove(shard_id)
+        new_owners: Dict[str, List[str]] = {}
+        for stream in moved:
+            new_owners.setdefault(self.ring.owner(stream), []).append(stream)
+        for new_owner, streams in sorted(new_owners.items()):
+            self._replay_streams(new_owner, streams)
+        client = self._clients.pop(shard_id, None)
+        if client is not None:
+            try:
+                client.request("shutdown")
+            except (RuntimeError, OSError):  # pragma: no cover - best effort
+                pass
+            client.close()
+        self.supervisor.forget(shard_id)
+
+    # ------------------------------------------------------------------ #
+    # request path with supervised recovery
+    # ------------------------------------------------------------------ #
+    def _request(self, shard_id: str, op: str, **fields: object) -> Dict[str, object]:
+        """One shard request; on failure, recover the shard and retry once."""
+        for attempt in (1, 2):
+            client = self._clients.get(shard_id) or self._connect(shard_id)
+            try:
+                return client.request(op, **fields)
+            except (ShardTimeoutError, TransportError, ConnectionError, OSError):
+                if attempt == 2:
+                    raise
+                self._recover(shard_id)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _recover(self, shard_id: str) -> None:
+        """Supervised recovery: kill + respawn + replay the shard's streams."""
+        self.recoveries += 1
+        client = self._clients.pop(shard_id, None)
+        if client is not None:
+            client.close()
+        self.supervisor.restart(shard_id)
+        self._connect(shard_id)
+        owned = [stream for stream in self._buffers
+                 if self.ring.owner(stream) == shard_id]
+        self._replay_streams(shard_id, owned)
+
+    def _replay_streams(self, shard_id: str, streams: Sequence[str]) -> None:
+        flushed = [s for s in sorted(streams) if self._journal.get(s)]
+        if not flushed:
+            return
+        payload = [{
+            "stream": stream,
+            "shm": self._buffers[stream].name,
+            "length": self._buffers[stream].length,
+            "boundaries": self._journal[stream],
+        } for stream in flushed]
+        # Replay goes through the raw client on purpose: a shard that dies
+        # *during* recovery surfaces as a failure of the original request's
+        # retry instead of recursing here.
+        client = self._clients.get(shard_id) or self._connect(shard_id)
+        client.request("replay", streams=payload)
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def append(self, stream_id: str, values: np.ndarray) -> None:
+        """Stage points on one stream (shared memory; flushed by :meth:`flush`)."""
+        if self._closed:
+            raise ValueError("service is closed")
+        values = np.asarray(values, dtype=np.float64).ravel()
+        buffer = self._buffers.get(stream_id)
+        if buffer is None:
+            buffer = SharedSeriesBuffer(
+                stream_id, initial_capacity=max(
+                    self.config.initial_stream_capacity, len(values)))
+            self._buffers[stream_id] = buffer
+            self._journal[stream_id] = []
+        buffer.append(values)
+        self._staged.add(stream_id)
+
+    def push(self, stream_id: str, values: np.ndarray) -> Dict[str, object]:
+        """Append to one stream and flush immediately (single-stream ticks)."""
+        self.append(stream_id, values)
+        return self.flush()[stream_id]
+
+    def flush(self) -> Dict[str, Dict[str, object]]:
+        """Process every staged append: one ``push_batch`` per owning shard.
+
+        The per-shard requests go out **concurrently** (threads; the GIL is
+        released while waiting on sockets), so shard processes compute their
+        batches in parallel — this is where the multi-shard throughput win
+        comes from.  Results are merged and journalled in deterministic
+        shard order afterwards.
+        """
+        if not self._staged:
+            return {}
+        staged = sorted(self._staged)
+        updates: Dict[str, Dict[str, object]] = {}
+        by_shard = self.ring.assign(staged)
+        shard_order = sorted(by_shard)
+
+        def push_one(shard_id: str) -> Dict[str, object]:
+            ticks = [{"stream": stream,
+                      "shm": self._buffers[stream].name,
+                      "length": self._buffers[stream].length}
+                     for stream in by_shard[shard_id]]
+            return self._request(shard_id, "push_batch", ticks=ticks)
+
+        if len(shard_order) == 1:
+            responses = {shard_order[0]: push_one(shard_order[0])}
+        else:
+            with ThreadPoolExecutor(max_workers=len(shard_order)) as pool:
+                responses = dict(zip(shard_order, pool.map(push_one, shard_order)))
+        for shard_id in shard_order:
+            # Journal only after the shard acknowledged: recovery replays to
+            # the pre-tick state and the retry re-applies the tick.
+            for stream in by_shard[shard_id]:
+                self._journal[stream].append(self._buffers[stream].length)
+                self._staged.discard(stream)
+            updates.update(responses[shard_id]["updates"])
+
+        drifted = sorted(stream for stream, update in updates.items()
+                         if update.get("drift_triggered"))
+        if self._selection_cache is not None:
+            for stream, update in updates.items():
+                self._selection_cache.put(stream, {
+                    "stream": stream,
+                    "selected_index": update["selected_index"],
+                    "selected_model": update["selected_model"],
+                    "votes": update["votes"],
+                    "n_windows": update["windows"],
+                    "provisional": update["provisional"],
+                })
+        if drifted:
+            self._broadcast_invalidate(drifted)
+        return updates
+
+    def _broadcast_invalidate(self, streams: List[str]) -> None:
+        """Drift re-selection changed answers: clear every shard's memo."""
+        self.invalidations_broadcast += 1
+        for shard_id in self.shard_ids:
+            self._request(shard_id, "invalidate", streams=streams)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def select(self, stream_id: str) -> Optional[Dict[str, object]]:
+        """The stream's current selection (front-end LRU, then its shard)."""
+        if self._selection_cache is not None and stream_id not in self._staged:
+            hit = self._selection_cache.get(stream_id)
+            if hit is not None:
+                return {**hit, "cached": True}
+        response = self._request(self.ring.owner(stream_id), "select",
+                                 stream=stream_id)
+        selection = response.get("selection")
+        if selection is not None and self._selection_cache is not None \
+                and stream_id not in self._staged:
+            self._selection_cache.put(stream_id, dict(selection))
+        return selection
+
+    def scores(self, stream_id: str) -> np.ndarray:
+        """Per-point anomaly scores of one stream's scored prefix."""
+        response = self._request(self.ring.owner(stream_id), "scores",
+                                 stream=stream_id)
+        return np.asarray(response["scores"], dtype=np.float64)
+
+    def series(self, stream_id: str) -> np.ndarray:
+        """Every point received on one stream (front-end shared memory)."""
+        return self._buffers[stream_id].series
+
+    @property
+    def stream_ids(self) -> List[str]:
+        return sorted(self._buffers)
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate counters across shards plus service-level counters."""
+        per_shard: Dict[str, Dict[str, object]] = {}
+        for shard_id in self.shard_ids:
+            per_shard[shard_id] = self._request(shard_id, "stats")
+        totals: Dict[str, int] = {}
+        for response in per_shard.values():
+            for key, value in response["stats"].items():
+                totals[key] = totals.get(key, 0) + int(value)
+        cache_stats = self._selection_cache.stats if self._selection_cache else None
+        return {
+            "shards": len(self.shard_ids),
+            "streams": len(self._buffers),
+            "totals": totals,
+            "per_shard": {sid: resp["stats"] for sid, resp in per_shard.items()},
+            "ring": self.ring.to_state(),
+            "restarts": self.supervisor.restarts,
+            "recoveries": self.recoveries,
+            "invalidations_broadcast": self.invalidations_broadcast,
+            "selection_cache": ({
+                "hits": cache_stats.hits,
+                "misses": cache_stats.misses,
+                "size": cache_stats.size,
+            } if cache_stats is not None else None),
+        }
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop every shard and unlink every shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard_id, client in list(self._clients.items()):
+            try:
+                client.request("shutdown")
+            except (RuntimeError, OSError, ConnectionError, TimeoutError):
+                pass  # a dead shard cannot acknowledge its shutdown
+            client.close()
+        self._clients.clear()
+        self.supervisor.stop_all()
+        for buffer in self._buffers.values():
+            buffer.close()
+        self._buffers.clear()
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ShardedService(shards={len(self.shard_ids)}, "
+                f"streams={len(self._buffers)}, "
+                f"restarts={self.supervisor.restarts})")
+
+
+# --------------------------------------------------------------------------- #
+# the asyncio TCP front end (what `serve-sharded` runs)
+# --------------------------------------------------------------------------- #
+class ServiceFrontend:
+    """Serve :class:`ShardedService` over TCP (length-prefixed JSON).
+
+    Client ops mirror the Python API: ``push`` (stream + values), ``append``
+    + ``flush``, ``select``, ``scores``, ``stats``, ``ping``.  Values arrive
+    as JSON arrays from remote clients; the zero-copy handoff applies on the
+    front-end → shard hop.  Service calls are serialised by a lock and run
+    in a worker thread so one slow shard request does not stall the accept
+    loop.
+    """
+
+    def __init__(self, service: ShardedService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._lock = threading.Lock()
+
+    async def start(self) -> int:
+        """Bind and start accepting; returns the actual port."""
+        self._server = await asyncio.start_server(self._handle_client,
+                                                  self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------ #
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(4)
+                    length = int.from_bytes(header, "big")
+                    body = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                request: object = None
+                try:
+                    request = json.loads(body.decode("utf-8"))
+                    response = await asyncio.get_running_loop().run_in_executor(
+                        None, self._execute, request)
+                except Exception as error:
+                    response = {"error": f"{type(error).__name__}: {error}"}
+                if isinstance(request, dict) and "seq" in request:
+                    response["seq"] = request["seq"]
+                writer.write(encode_message(response))
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - peer already gone
+                pass
+
+    def _execute(self, request: Dict[str, object]) -> Dict[str, object]:
+        if not isinstance(request, dict):
+            raise ValueError("requests must be JSON objects")
+        op = request.get("op")
+        with self._lock:
+            if op == "ping":
+                return {"ok": True, "shards": len(self.service.shard_ids)}
+            if op == "push":
+                update = self.service.push(str(request["stream"]),
+                                           np.asarray(request["values"], dtype=np.float64))
+                return {"update": update}
+            if op == "append":
+                self.service.append(str(request["stream"]),
+                                    np.asarray(request["values"], dtype=np.float64))
+                return {"ok": True}
+            if op == "flush":
+                return {"updates": self.service.flush()}
+            if op == "select":
+                return {"selection": self.service.select(str(request["stream"]))}
+            if op == "scores":
+                return {"scores": [float(s)
+                                   for s in self.service.scores(str(request["stream"]))]}
+            if op == "stats":
+                return {"stats": self.service.stats()}
+            raise ValueError(f"unknown op {op!r}")

@@ -1,0 +1,256 @@
+"""The shard process: one :class:`StreamEngine` behind a request socket.
+
+Each shard owns a consistent-hash slice of the stream population and runs
+the full incremental machinery for it — windowing, running votes, drift
+monitoring, online scoring — exactly as the single-process engine would.
+Series points arrive as shared-memory references (never through the
+socket): a ``push_batch`` request names ``(segment, length)`` per stream
+and the handler hands the engine zero-copy views via
+:meth:`StreamEngine.append_view`, then flushes once for the whole batch —
+the same cross-stream batching the engine performs in process.
+
+Protocol properties the front end and chaos harness rely on:
+
+* **idempotence** — responses are cached per connection by request ``seq``;
+  a retransmitted or duplicated request is answered from the cache without
+  re-executing, so transport faults never double-append,
+* **replayability** — a ``replay`` request rebuilds per-stream state from
+  the shared-memory buffers with the original per-stream flush boundaries,
+  which makes post-restart selections and scores bitwise-equal to an
+  uninterrupted run,
+* **chaos hooks** — a ``chaos`` request injects a per-request sleep, the
+  deterministic stand-in for a hung or pathologically slow shard.
+
+Shards are forked from the supervisor, so the engine factory and the
+trained selector it closes over are inherited copy-on-write — nothing is
+pickled to start a shard.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List
+
+from ..streaming.engine import StreamEngine
+from .transport import (
+    SharedSegmentCache,
+    TransportError,
+    recv_message,
+    send_message,
+)
+
+#: per-connection response-cache depth (covers retransmits and duplicates)
+RESPONSE_CACHE_DEPTH = 64
+
+
+def _stats_dict(engine: StreamEngine) -> Dict[str, object]:
+    stats = engine.stats
+    return {
+        "n_streams": stats.n_streams,
+        "flushes": stats.flushes,
+        "points": stats.points,
+        "windows": stats.windows,
+        "forward_windows": stats.forward_windows,
+        "cached_windows": stats.cached_windows,
+        "drift_triggers": stats.drift_triggers,
+        "tail_rescores": stats.tail_rescores,
+        "full_rescores": stats.full_rescores,
+    }
+
+
+class ShardServer:
+    """Serve one engine over blocking length-prefixed JSON requests."""
+
+    def __init__(self, shard_id: str, listen_sock: socket.socket,
+                 engine_factory: Callable[[], StreamEngine]) -> None:
+        self.shard_id = shard_id
+        self._listen_sock = listen_sock
+        self.engine = engine_factory()
+        self._segments = SharedSegmentCache()
+        self._engine_lock = threading.Lock()
+        self._running = True
+        #: memoised ``select`` responses, invalidated by pushes/invalidate
+        self._select_memo: Dict[str, Dict[str, object]] = {}
+        #: chaos: seconds to sleep before handling each request
+        self._chaos_sleep_s = 0.0
+
+    # ------------------------------------------------------------------ #
+    # request loop
+    # ------------------------------------------------------------------ #
+    def serve_forever(self) -> None:
+        """Accept connections until a ``shutdown`` request arrives."""
+        self._listen_sock.settimeout(0.2)
+        threads: List[threading.Thread] = []
+        try:
+            while self._running:
+                try:
+                    conn, _ = self._listen_sock.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(target=self._serve_connection,
+                                          args=(conn,), daemon=True)
+                thread.start()
+                threads.append(thread)
+        finally:
+            self._listen_sock.close()
+            for thread in threads:
+                thread.join(timeout=1.0)
+            self._segments.close()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        responses: "OrderedDict[int, Dict[str, object]]" = OrderedDict()
+        try:
+            while self._running:
+                try:
+                    request = recv_message(conn)
+                except TransportError:
+                    break
+                if request is None:
+                    break
+                if self._chaos_sleep_s:
+                    time.sleep(self._chaos_sleep_s)
+                seq = request.get("seq")
+                if seq in responses:  # retransmit/duplicate: answer, don't redo
+                    send_message(conn, responses[seq])
+                    continue
+                try:
+                    response = self._dispatch(request)
+                except Exception as error:  # surfaced to the front end
+                    response = {"error": f"{type(error).__name__}: {error}"}
+                response["seq"] = seq
+                responses[seq] = response
+                while len(responses) > RESPONSE_CACHE_DEPTH:
+                    responses.popitem(last=False)
+                try:
+                    send_message(conn, response)
+                except OSError:
+                    break
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------ #
+    # handlers
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, request: Dict[str, object]) -> Dict[str, object]:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise ValueError(f"unknown op {op!r}")
+        with self._engine_lock:
+            return handler(request)
+
+    def _append_tick(self, tick: Dict[str, object]) -> None:
+        stream = str(tick["stream"])
+        view = self._segments.view(stream, str(tick["shm"]), int(tick["length"]))
+        self.engine.append_view(stream, view)
+
+    def _op_ping(self, request: Dict[str, object]) -> Dict[str, object]:
+        return {"ok": True, "shard": self.shard_id, "pid": os.getpid()}
+
+    def _op_push_batch(self, request: Dict[str, object]) -> Dict[str, object]:
+        ticks = request["ticks"]
+        for tick in ticks:
+            self._append_tick(tick)
+        updates = self.engine.flush()
+        for tick in ticks:
+            self._select_memo.pop(str(tick["stream"]), None)
+        return {"updates": {stream: update.as_dict()
+                            for stream, update in updates.items()}}
+
+    def _op_replay(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Rebuild streams from their shared buffers (restart/rebalance).
+
+        Boundaries are the original per-stream flush lengths, so votes,
+        drift state and scores come out bitwise-equal to the uninterrupted
+        engine (per-stream results are flush-grouping exact; see
+        ``tests/test_streaming.py::test_tick_boundaries_do_not_change_results``).
+        """
+        replayed = 0
+        for entry in request["streams"]:
+            stream = str(entry["stream"])
+            self.engine.drop_stream(stream)
+            self._select_memo.pop(stream, None)
+            full = self._segments.view(stream, str(entry["shm"]), int(entry["length"]))
+            for boundary in entry["boundaries"]:
+                self.engine.append_view(stream, full[: int(boundary)])
+                self.engine.flush()
+            replayed += 1
+        return {"ok": True, "replayed": replayed}
+
+    def _op_select(self, request: Dict[str, object]) -> Dict[str, object]:
+        stream = str(request["stream"])
+        memo = self._select_memo.get(stream)
+        if memo is not None:
+            return {"selection": memo, "memoized": True}
+        if stream not in self.engine:
+            return {"selection": None}
+        view = self.engine.selection(stream)
+        if view is None:
+            return {"selection": None}
+        names = self.engine.detector_names
+        selection = {
+            "stream": stream,
+            "selected_index": view.selected_index,
+            "selected_model": names[view.selected_index],
+            "votes": {name: float(view.aggregated[k]) for k, name in enumerate(names)},
+            "n_windows": view.n_windows,
+            "provisional": view.provisional,
+        }
+        self._select_memo[stream] = selection
+        return {"selection": selection, "memoized": False}
+
+    def _op_scores(self, request: Dict[str, object]) -> Dict[str, object]:
+        stream = str(request["stream"])
+        if stream not in self.engine:
+            return {"scores": []}
+        return {"scores": [float(s) for s in self.engine.scores(stream)]}
+
+    def _op_series_length(self, request: Dict[str, object]) -> Dict[str, object]:
+        stream = str(request["stream"])
+        if stream not in self.engine:
+            return {"length": 0}
+        return {"length": int(len(self.engine.series(stream)))}
+
+    def _op_stats(self, request: Dict[str, object]) -> Dict[str, object]:
+        return {"stats": _stats_dict(self.engine),
+                "streams": sorted(self.engine.stream_ids)}
+
+    def _op_drop_streams(self, request: Dict[str, object]) -> Dict[str, object]:
+        dropped = 0
+        for stream in request["streams"]:
+            stream = str(stream)
+            dropped += self.engine.drop_stream(stream)
+            self._segments.drop(stream)
+            self._select_memo.pop(stream, None)
+        return {"ok": True, "dropped": dropped}
+
+    def _op_invalidate(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Broadcast invalidation: drop memoised selections for streams."""
+        invalidated = 0
+        for stream in request["streams"]:
+            invalidated += self._select_memo.pop(str(stream), None) is not None
+        return {"ok": True, "invalidated": invalidated}
+
+    def _op_chaos(self, request: Dict[str, object]) -> Dict[str, object]:
+        self._chaos_sleep_s = float(request.get("sleep_s", 0.0))
+        return {"ok": True, "sleep_s": self._chaos_sleep_s}
+
+    def _op_shutdown(self, request: Dict[str, object]) -> Dict[str, object]:
+        self._running = False
+        return {"ok": True}
+
+
+def shard_main(shard_id: str, listen_sock: socket.socket,
+               engine_factory: Callable[[], StreamEngine]) -> None:
+    """Entry point of a forked shard process."""
+    try:
+        ShardServer(shard_id, listen_sock, engine_factory).serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - CLI ^C propagates to children
+        pass

@@ -1,0 +1,418 @@
+"""Wire protocol and shared-memory handoff of the sharded service.
+
+Control messages are **length-prefixed JSON**: a 4-byte big-endian length
+followed by a UTF-8 JSON object.  That covers requests, responses and
+service metadata — everything *except* the series points themselves.
+
+Points never travel through the socket.  The front end appends them into a
+per-stream :class:`SharedSeriesBuffer` (``multiprocessing.shared_memory``)
+and the control message carries only ``(segment name, length)``; the shard
+attaches the segment and hands the engine a zero-copy NumPy view
+(:meth:`repro.streaming.StreamEngine.append_view`).  This removes the
+pickling/serialisation ceiling of the earlier process-pool fan-out: handoff
+cost is independent of how many points a tick carries.
+
+Reliability primitives live here too:
+
+* every request carries a monotone ``seq``; :class:`ShardClient` retries on
+  (injected) loss and discards stale responses, and the shard side answers
+  duplicate ``seq`` values from a response cache instead of re-executing —
+  so transport faults never double-apply an append;
+* :class:`FaultInjector` deterministically (seeded) drops, duplicates or
+  delays outgoing requests — the chaos harness's transport layer.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import struct
+import time
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+_HEADER = struct.Struct(">I")
+
+#: refuse absurd frames instead of trying to allocate them (corrupt header)
+MAX_MESSAGE_BYTES = 256 * 1024 * 1024
+
+
+class TransportError(ConnectionError):
+    """The peer vanished or sent garbage mid-conversation."""
+
+
+class ShardTimeoutError(TimeoutError):
+    """A shard did not answer within the request timeout (hung or dead)."""
+
+
+# --------------------------------------------------------------------------- #
+# length-prefixed JSON framing (blocking sockets)
+# --------------------------------------------------------------------------- #
+def encode_message(payload: Dict[str, object]) -> bytes:
+    """One wire frame: 4-byte big-endian length + UTF-8 JSON."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(body)) + body
+
+
+def send_message(sock: socket.socket, payload: Dict[str, object]) -> None:
+    sock.sendall(encode_message(payload))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on clean EOF (peer closed between frames)."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise TransportError(f"frame of {length} bytes exceeds the protocol limit")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise TransportError("connection closed mid-frame")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TransportError(f"undecodable frame: {error}") from None
+    if not isinstance(payload, dict):
+        raise TransportError("protocol messages must be JSON objects")
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory series buffers (the zero-copy handoff)
+# --------------------------------------------------------------------------- #
+def attach_shared_array(name: str, length: int) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Attach a shared segment and view its first ``length`` float64 values.
+
+    The returned :class:`SharedMemory` must be kept alive as long as the
+    view is used.  Tracker registration is suppressed during the attach:
+    forked shards share the parent's resource-tracker process, so a reader
+    must neither register a segment it merely maps (the tracker would
+    unlink it on reader exit) nor unregister it afterwards (that would
+    erase the *owner's* registration in the shared tracker).  Python 3.13's
+    ``track=False`` does the same; this works on 3.11.
+    """
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+    view = np.ndarray((length,), dtype=np.float64, buffer=shm.buf)
+    view.flags.writeable = False
+    return shm, view
+
+
+class SharedSeriesBuffer:
+    """A growing float64 series stored in shared memory (front-end owned).
+
+    Appends are amortised O(1): when the segment fills up, a segment of
+    twice the size is created, the prefix copied once, and the old segment
+    unlinked (readers that still map it keep a valid view until they
+    re-attach — POSIX keeps unlinked segments alive while mapped).  Readers
+    locate the current segment by :attr:`name` and the valid prefix by
+    :attr:`length`; both travel in control messages.
+    """
+
+    def __init__(self, stream_id: str, initial_capacity: int = 2048) -> None:
+        if initial_capacity < 1:
+            raise ValueError("initial_capacity must be >= 1")
+        self.stream_id = stream_id
+        self._capacity = int(initial_capacity)
+        self._length = 0
+        self._shm = shared_memory.SharedMemory(create=True, size=self._capacity * 8)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Name of the current shared segment (changes when the buffer grows)."""
+        return self._shm.name
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def series(self) -> np.ndarray:
+        """Read-only view of the points stored so far (no copy)."""
+        view = np.ndarray((self._length,), dtype=np.float64, buffer=self._shm.buf)
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------ #
+    def append(self, values: np.ndarray) -> Tuple[int, int]:
+        """Append points; returns the ``(start, end)`` slice they occupy."""
+        if self._closed:
+            raise ValueError("buffer is closed")
+        values = np.asarray(values, dtype=np.float64).ravel()
+        start = self._length
+        needed = start + len(values)
+        if needed > self._capacity:
+            capacity = self._capacity
+            while capacity < needed:
+                capacity *= 2
+            grown = shared_memory.SharedMemory(create=True, size=capacity * 8)
+            np.ndarray((start,), dtype=np.float64, buffer=grown.buf)[:] = \
+                np.ndarray((start,), dtype=np.float64, buffer=self._shm.buf)
+            self._shm.close()
+            self._shm.unlink()
+            self._shm = grown
+            self._capacity = capacity
+        np.ndarray((needed,), dtype=np.float64, buffer=self._shm.buf)[start:] = values
+        self._length = needed
+        return start, needed
+
+    def close(self) -> None:
+        """Release and unlink the segment (the owner's teardown)."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class SharedSegmentCache:
+    """Shard-side registry of attached segments, one per stream.
+
+    Re-attaches when a stream's segment name changes (the front end grew
+    the buffer) and detaches on :meth:`drop` when a stream moves away.
+    """
+
+    def __init__(self) -> None:
+        self._attached: Dict[str, Tuple[str, shared_memory.SharedMemory]] = {}
+
+    def view(self, stream_id: str, name: str, length: int) -> np.ndarray:
+        """Zero-copy float64 view of one stream's first ``length`` points."""
+        cached = self._attached.get(stream_id)
+        if cached is not None and cached[0] == name:
+            shm = cached[1]
+            view = np.ndarray((length,), dtype=np.float64, buffer=shm.buf)
+            view.flags.writeable = False
+            return view
+        shm, view = attach_shared_array(name, length)
+        if cached is not None:
+            cached[1].close()
+        self._attached[stream_id] = (name, shm)
+        return view
+
+    def drop(self, stream_id: str) -> None:
+        cached = self._attached.pop(stream_id, None)
+        if cached is not None:
+            cached[1].close()
+
+    def close(self) -> None:
+        for stream_id in list(self._attached):
+            self.drop(stream_id)
+
+
+class FrameReader:
+    """Buffered frame reader for sockets read under a timeout.
+
+    A timeout may strike after part of a frame arrived; the partial bytes
+    stay in the buffer so the next read resumes cleanly — the framing never
+    desynchronises, which is what lets :class:`ShardClient` retransmit
+    after an injected drop without corrupting the conversation.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buf = bytearray()
+
+    def read_frame(self, timeout_s: float) -> Optional[Dict[str, object]]:
+        """One message within ``timeout_s``; None on clean EOF."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            frame = self._extract()
+            if frame is not None:
+                return frame
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError("no complete frame within the timeout")
+            self._sock.settimeout(remaining)
+            try:
+                chunk = self._sock.recv(1 << 16)
+            except (socket.timeout, TimeoutError):
+                raise TimeoutError("no complete frame within the timeout") from None
+            if not chunk:
+                if self._buf:
+                    raise TransportError("connection closed mid-frame")
+                return None
+            self._buf += chunk
+
+    def _extract(self) -> Optional[Dict[str, object]]:
+        if len(self._buf) < _HEADER.size:
+            return None
+        (length,) = _HEADER.unpack(bytes(self._buf[:_HEADER.size]))
+        if length > MAX_MESSAGE_BYTES:
+            raise TransportError(f"frame of {length} bytes exceeds the protocol limit")
+        end = _HEADER.size + length
+        if len(self._buf) < end:
+            return None
+        body = bytes(self._buf[_HEADER.size:end])
+        del self._buf[:end]
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise TransportError(f"undecodable frame: {error}") from None
+        if not isinstance(payload, dict):
+            raise TransportError("protocol messages must be JSON objects")
+        return payload
+
+
+# --------------------------------------------------------------------------- #
+# deterministic transport fault injection
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-request fault decision (what the injector chose to do)."""
+
+    drop: bool = False
+    duplicate: bool = False
+    delay_s: float = 0.0
+
+
+class FaultInjector:
+    """Seeded drop/duplicate/delay decisions for outgoing requests.
+
+    Deterministic: the same seed produces the same fault sequence, so a
+    failing chaos run replays exactly.  Probabilities are per *send
+    attempt* — a dropped request's retry rolls again.
+    """
+
+    def __init__(self, seed: int, drop: float = 0.0, duplicate: float = 0.0,
+                 delay: float = 0.0, max_delay_s: float = 0.02) -> None:
+        for name, p in (("drop", drop), ("duplicate", duplicate), ("delay", delay)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1]")
+        self._rng = random.Random(seed)
+        self.drop = drop
+        self.duplicate = duplicate
+        self.delay = delay
+        self.max_delay_s = max_delay_s
+        #: counters for assertions ("faults actually happened")
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def plan(self) -> FaultPlan:
+        """Roll the dice for one send attempt."""
+        drop = self._rng.random() < self.drop
+        duplicate = (not drop) and self._rng.random() < self.duplicate
+        delay_s = self._rng.random() * self.max_delay_s \
+            if self._rng.random() < self.delay else 0.0
+        self.dropped += drop
+        self.duplicated += duplicate
+        self.delayed += delay_s > 0.0
+        return FaultPlan(drop=drop, duplicate=duplicate, delay_s=delay_s)
+
+
+# --------------------------------------------------------------------------- #
+# the front end's per-shard request channel
+# --------------------------------------------------------------------------- #
+class ShardClient:
+    """One persistent request/response connection to one shard.
+
+    Requests are sequence-numbered.  A send the injector drops is simply
+    not written; the reply wait then times out quickly and the request is
+    retransmitted with the *same* ``seq`` — the shard deduplicates, so the
+    retry is exactly-once.  Responses are matched by ``seq`` and stale or
+    duplicated replies are discarded.
+    """
+
+    #: reply wait after an *injected* drop before retransmitting
+    RETRY_WAIT_S = 0.05
+
+    def __init__(self, port: int, host: str = "127.0.0.1",
+                 timeout_s: float = 10.0,
+                 injector: Optional[FaultInjector] = None) -> None:
+        self.timeout_s = timeout_s
+        self.injector = injector
+        self._seq = 0
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = FrameReader(self._sock)
+
+    # ------------------------------------------------------------------ #
+    def request(self, op: str, **fields: object) -> Dict[str, object]:
+        """Send one request and wait for its matching response."""
+        self._seq += 1
+        payload = {"op": op, "seq": self._seq, **fields}
+        frame = encode_message(payload)
+        deadline = time.monotonic() + self.timeout_s
+        dropped = self._send(frame)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ShardTimeoutError(
+                    f"shard did not answer {op!r} (seq {self._seq}) "
+                    f"within {self.timeout_s:.1f}s")
+            # After an injected drop nothing is in flight: wait only a short
+            # beat, then retransmit the same seq (the shard deduplicates).
+            wait = min(remaining, self.RETRY_WAIT_S) if dropped else remaining
+            try:
+                response = self._reader.read_frame(wait)
+            except ShardTimeoutError:
+                raise
+            except TimeoutError:
+                if dropped:
+                    dropped = self._send(frame)
+                    continue
+                raise ShardTimeoutError(
+                    f"shard did not answer {op!r} (seq {self._seq}) "
+                    f"within {self.timeout_s:.1f}s") from None
+            if response is None:
+                raise TransportError("shard closed the connection")
+            if response.get("seq") != self._seq:
+                continue  # stale reply from a duplicated earlier request
+            if response.get("error"):
+                raise RuntimeError(f"shard error on {op!r}: {response['error']}")
+            return response
+
+    def _send(self, frame: bytes) -> bool:
+        """Write the frame (subject to fault injection); True when dropped."""
+        plan = self.injector.plan() if self.injector is not None else FaultPlan()
+        if plan.delay_s:
+            time.sleep(plan.delay_s)
+        if plan.drop:
+            return True
+        self._sock.sendall(frame)
+        if plan.duplicate:
+            self._sock.sendall(frame)
+        return False
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass

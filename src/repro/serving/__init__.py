@@ -16,10 +16,10 @@ See ``docs/architecture.md`` for the batching/caching semantics.
 from .batching import microbatches, window_budget_groups
 from .cache import CacheStats, LRUCache, series_fingerprint
 from .service import SelectionResult, SelectionService, ServingConfig
-from .workers import WorkerPool
+from .workers import WorkerError, WorkerPool
 
 __all__ = [
     "CacheStats", "LRUCache", "series_fingerprint",
     "SelectionResult", "SelectionService", "ServingConfig",
-    "WorkerPool", "microbatches", "window_budget_groups",
+    "WorkerError", "WorkerPool", "microbatches", "window_budget_groups",
 ]

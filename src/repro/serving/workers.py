@@ -23,7 +23,9 @@ pickled on the way *in*, only results on the way out.  Platforms without
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import threading
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
@@ -31,6 +33,25 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 WORKER_MODES = ("thread", "process")
+
+
+class WorkerError(RuntimeError):
+    """A forked worker raised; carries the worker-side traceback text.
+
+    Raised as the ``__cause__`` of the original exception (re-raised in the
+    parent when it pickles) so both the parent-side call stack and the
+    worker-side stack appear in the report.  When the original exception
+    cannot cross the process boundary (unpicklable), this error is raised
+    alone with the original type name in its message.
+    """
+
+    def __init__(self, item_index: int, exc_type: str, worker_traceback: str) -> None:
+        super().__init__(
+            f"worker failed on item {item_index} with {exc_type}\n"
+            f"--- worker traceback ---\n{worker_traceback}")
+        self.item_index = item_index
+        self.exc_type = exc_type
+        self.worker_traceback = worker_traceback
 
 #: payload of an in-flight fork-pool map; children inherit it through fork,
 #: so only the integer item index crosses the pipe on the way in.  The lock
@@ -41,8 +62,18 @@ _fork_lock = threading.Lock()
 
 
 def _fork_invoke(index: int):
+    # Success and failure both travel as tagged tuples: ``multiprocessing``
+    # pickles exceptions without ``__traceback__``, so the worker-side stack
+    # must be captured here, as text, before the pipe erases it.
     fn, items = _fork_payload
-    return fn(items[index])
+    try:
+        return ("ok", fn(items[index]))
+    except Exception as error:
+        try:
+            payload = pickle.dumps(error)
+        except Exception:
+            payload = None
+        return ("err", index, type(error).__name__, payload, traceback.format_exc())
 
 
 def _fork_available() -> bool:
@@ -89,9 +120,25 @@ class WorkerPool:
             try:
                 ctx = multiprocessing.get_context("fork")
                 with ctx.Pool(processes=workers) as pool:
-                    return pool.map(_fork_invoke, range(len(items)))
+                    outcomes = pool.map(_fork_invoke, range(len(items)))
             finally:
                 _fork_payload = None
+        results: List[R] = []
+        for outcome in outcomes:
+            if outcome[0] == "ok":
+                results.append(outcome[1])
+                continue
+            _, index, exc_type, payload, worker_tb = outcome
+            cause = WorkerError(index, exc_type, worker_tb)
+            if payload is not None:
+                try:
+                    original = pickle.loads(payload)
+                except Exception:
+                    original = None
+                if isinstance(original, Exception):
+                    raise original from cause
+            raise cause
+        return results
 
     def starmap(self, fn: Callable[..., R], items: Iterable[Sequence]) -> List[R]:
         """Like :meth:`map` but unpacks each item as positional arguments."""

@@ -54,7 +54,15 @@ class GrowingArray:
 
 
 class StreamBuffer:
-    """One live stream: raw points in, newly complete selector windows out."""
+    """One live stream: raw points in, newly complete selector windows out.
+
+    The buffer normally owns its storage (a :class:`GrowingArray`), but a
+    stream whose points already live elsewhere — e.g. a shared-memory
+    segment written by a service front end — can instead :meth:`attach` a
+    read-only view of that external series.  Window extraction is storage
+    agnostic, so attached streams produce bitwise-identical windows with
+    zero copies on the handoff.
+    """
 
     def __init__(self, window: int, stride: Optional[int] = None,
                  normalize: bool = True) -> None:
@@ -64,17 +72,22 @@ class StreamBuffer:
         self.stride = stride or window
         self.normalize = normalize
         self._points = GrowingArray(max(1024, 2 * window))
+        self._external: Optional[np.ndarray] = None
         self._n_emitted = 0
 
     # ------------------------------------------------------------------ #
     @property
     def length(self) -> int:
         """Number of points received so far."""
+        if self._external is not None:
+            return len(self._external)
         return len(self._points)
 
     @property
     def series(self) -> np.ndarray:
         """The full series received so far (read-only view)."""
+        if self._external is not None:
+            return self._external
         return self._points.values
 
     @property
@@ -89,7 +102,31 @@ class StreamBuffer:
     # ------------------------------------------------------------------ #
     def extend(self, values: np.ndarray) -> None:
         """Append points without emitting (the engine's staging step)."""
+        if self._external is not None:
+            raise ValueError("buffer is attached to external storage; "
+                             "grow the external series and re-attach instead")
         self._points.append(values)
+
+    def attach(self, series: np.ndarray) -> None:
+        """Adopt an externally stored series prefix (zero-copy).
+
+        ``series`` must be the same stream the buffer has seen so far plus
+        any newly arrived points — i.e. at least as long as :attr:`length`;
+        the caller guarantees the shared prefix is unchanged (an append-only
+        store such as a shared-memory segment satisfies this by
+        construction).  After attaching, new points arrive by attaching a
+        longer view; :meth:`extend` is disabled.
+        """
+        series = np.asarray(series)
+        if series.dtype != np.float64 or series.ndim != 1:
+            raise ValueError("attached series must be a 1-D float64 array")
+        if len(series) < self.length:
+            raise ValueError(
+                f"attached series is shorter than the stream so far "
+                f"({len(series)} < {self.length}); streams are append-only")
+        view = series.view()
+        view.flags.writeable = False
+        self._external = view
 
     def take_new_windows(self) -> np.ndarray:
         """Emit every window that became complete since the last call.

@@ -215,10 +215,35 @@ class StreamEngine:
         state.pending = True
         self._points += len(values)
 
+    def append_view(self, stream_id: str, series: np.ndarray) -> None:
+        """Stage an externally stored series prefix (zero-copy handoff).
+
+        ``series`` is the stream's *entire* history so far — e.g. a
+        shared-memory view a service front end grew in place — and must
+        extend what the engine has already seen (append-only).  Nothing is
+        copied: the stream's buffer adopts the view and the next
+        :meth:`flush` windows only the new points, bitwise identical to
+        having received them through :meth:`append`.
+        """
+        state = self._ensure_stream(stream_id)
+        previous = state.buffer.length
+        state.buffer.attach(series)
+        state.pending = True
+        self._points += state.buffer.length - previous
+
     def push(self, stream_id: str, values: np.ndarray) -> StreamUpdate:
         """Append to one stream and flush immediately (single-stream ticks)."""
         self.append(stream_id, values)
         return self.flush()[stream_id]
+
+    def drop_stream(self, stream_id: str) -> bool:
+        """Forget one stream entirely (rebalance/ownership handoff).
+
+        Returns True when the stream existed.  All per-stream state —
+        buffer, running votes, drift monitor, scorer — is discarded; a
+        later append under the same id starts a fresh stream.
+        """
+        return self._streams.pop(stream_id, None) is not None
 
     def flush(self) -> Dict[str, StreamUpdate]:
         """Process every staged append; one update per touched stream."""

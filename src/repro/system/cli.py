@@ -17,6 +17,9 @@ be driven without writing Python:
   answer each with one JSON line (cache kept warm across queries).
 * ``stream``        — incremental mode: replay series files (or stdin ticks)
   as live streams through the streaming engine, one JSON line per update.
+* ``serve-sharded`` — run the streaming engine across N supervised shard
+  processes: replay series files through the sharded service, or listen on
+  a TCP port for length-prefixed JSON requests.
 * ``list-selectors`` — show the contents of a selector store.
 
 Run ``python -m repro.system.cli --help`` for details; ``docs/cli.md`` has a
@@ -203,6 +206,35 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--emit", default="all", choices=["all", "changes"],
                         help="print every tick update or only selection changes")
     _add_runtime_args(stream, worker_mode=False)
+
+    sharded = sub.add_parser("serve-sharded",
+                             help="run the streaming engine across supervised "
+                                  "shard processes")
+    sharded.add_argument("series_files", type=Path, nargs="*",
+                         help="series files replayed as concurrent streams; "
+                              "none requires --port (TCP server mode)")
+    sharded.add_argument("--store", type=Path, default=Path("selector_store"))
+    sharded.add_argument("--name", required=True)
+    sharded.add_argument("--shards", type=int, default=2,
+                         help="number of shard processes")
+    sharded.add_argument("--window", type=int, default=96)
+    sharded.add_argument("--stride", type=int, default=None,
+                         help="window stride (default: non-overlapping)")
+    sharded.add_argument("--chunk", type=int, default=32,
+                         help="points appended per stream per replayed tick")
+    sharded.add_argument("--aggregation", default="vote", choices=["vote", "mean"])
+    sharded.add_argument("--drift-threshold", type=float, default=None,
+                         help="total-variation drift threshold enabling "
+                              "re-selection (default: drift monitoring off)")
+    sharded.add_argument("--port", type=int, default=None,
+                         help="listen on this TCP port for length-prefixed "
+                              "JSON requests instead of replaying files "
+                              "(0 picks a free port)")
+    sharded.add_argument("--host", default="127.0.0.1",
+                         help="bind address for --port mode")
+    sharded.add_argument("--request-timeout", type=float, default=10.0,
+                         help="per-shard request timeout in seconds before "
+                              "the supervisor restarts a shard")
 
     list_cmd = sub.add_parser("list-selectors", help="show the contents of a selector store")
     list_cmd.add_argument("--store", type=Path, default=Path("selector_store"))
@@ -476,6 +508,73 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_sharded_service(args: argparse.Namespace) -> "ShardedService":
+    from ..detectors.base import DEFAULT_MODEL_NAMES
+    from ..service import ServiceConfig, ShardedService, make_engine_factory
+    from ..streaming import DriftConfig, StreamingConfig
+
+    selector = SelectorStore(args.store).load(args.name)
+    config = StreamingConfig(
+        window=args.window,
+        stride=args.stride,
+        aggregation=args.aggregation,
+        drift=(DriftConfig(threshold=args.drift_threshold)
+               if args.drift_threshold is not None else None),
+    )
+    factory = make_engine_factory(selector, DEFAULT_MODEL_NAMES, config)
+    return ShardedService(factory, ServiceConfig(
+        n_shards=args.shards, request_timeout_s=args.request_timeout))
+
+
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    if args.port is None and not args.series_files:
+        raise SystemExit("serve-sharded needs series files to replay, "
+                         "or --port to listen for requests")
+    service = _make_sharded_service(args)
+    try:
+        if args.port is not None:
+            import asyncio
+
+            from ..service import ServiceFrontend
+
+            frontend = ServiceFrontend(service, host=args.host, port=args.port)
+
+            async def run() -> None:
+                port = await frontend.start()
+                print(json.dumps({"listening": {"host": args.host, "port": port,
+                                                "shards": args.shards}}),
+                      flush=True)
+                await frontend.serve_forever()
+
+            try:
+                asyncio.run(run())
+            except KeyboardInterrupt:
+                pass
+            return 0
+
+        try:
+            records = [load_series_file(path) for path in args.series_files]
+        except (OSError, ValueError) as error:
+            raise SystemExit(str(error) or type(error).__name__)
+        longest = max(len(record.series) for record in records)
+        for start in range(0, longest, args.chunk):
+            for record in records:
+                chunk = record.series[start:start + args.chunk]
+                if len(chunk):
+                    service.append(record.name, chunk)
+            for update in service.flush().values():
+                print(json.dumps(update), flush=True)
+        stats = service.stats()
+        rows = sorted(stats["totals"].items()) + [
+            ("shards", stats["shards"]),
+            ("restarts", stats["restarts"]),
+        ]
+        print(format_table(["counter", "value"], rows), file=sys.stderr)
+        return 0
+    finally:
+        service.close()
+
+
 def _cmd_list_selectors(args: argparse.Namespace) -> int:
     store = SelectorStore(args.store)
     infos = store.list()
@@ -498,6 +597,7 @@ _COMMANDS = {
     "batch-select": _cmd_batch_select,
     "serve": _cmd_serve,
     "stream": _cmd_stream,
+    "serve-sharded": _cmd_serve_sharded,
     "list-selectors": _cmd_list_selectors,
 }
 

@@ -209,6 +209,29 @@ class TestTrainEvaluateDetect:
             main(["stream", "no/such/file.csv",
                   "--store", str(trained_store), "--name", "mlp"])
 
+    def test_serve_sharded_matches_single_process_stream(self, cli_workspace,
+                                                         trained_store, capsys):
+        files = sorted(cli_workspace["data_dir"].glob("*.csv"))[:2]
+        base = ["--store", str(trained_store), "--name", "mlp",
+                "--window", "64", "--chunk", "100"]
+        assert main(["stream", str(files[0]), str(files[1]), *base]) == 0
+        single = capsys.readouterr()
+        assert main(["serve-sharded", str(files[0]), str(files[1]),
+                     *base, "--shards", "2"]) == 0
+        sharded = capsys.readouterr()
+
+        def by_tick(out):
+            updates = [json.loads(line) for line in out.splitlines() if line.strip()]
+            return {(u["stream"], u["length"]): u for u in updates}
+
+        # the sharded replay is bitwise-equal to the in-process engine
+        assert by_tick(sharded.out) == by_tick(single.out)
+        assert "restarts" in sharded.err
+
+    def test_serve_sharded_requires_files_or_port(self, trained_store):
+        with pytest.raises(SystemExit):
+            main(["serve-sharded", "--store", str(trained_store), "--name", "mlp"])
+
     def test_list_selectors(self, trained_store, capsys):
         assert main(["list-selectors", "--store", str(trained_store)]) == 0
         assert "mlp" in capsys.readouterr().out

@@ -17,10 +17,12 @@ from repro.serving import (
     LRUCache,
     SelectionService,
     ServingConfig,
+    WorkerError,
     WorkerPool,
     microbatches,
     series_fingerprint,
 )
+from repro.serving.workers import _fork_available
 from repro.system import ModelSelectionPipeline, PipelineConfig, compare_models
 
 
@@ -150,6 +152,55 @@ class TestWorkerPool:
     def test_negative_workers_rejected(self):
         with pytest.raises(ValueError):
             WorkerPool(max_workers=-1)
+
+    @pytest.mark.skipif(not _fork_available(), reason="needs fork start method")
+    def test_forked_worker_exception_propagates_with_worker_traceback(self):
+        import traceback
+
+        def explode_on_two(x):
+            if x == 2:
+                raise ValueError(f"bad item {x}")
+            return x
+
+        pool = WorkerPool(max_workers=2, mode="process")
+        with pytest.raises(ValueError, match="bad item 2") as excinfo:
+            pool.map(explode_on_two, range(4))
+        # the original exception type crosses the process boundary, chained
+        # onto a WorkerError carrying the worker-side stack as text
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, WorkerError)
+        assert cause.item_index == 2 and cause.exc_type == "ValueError"
+        assert "explode_on_two" in cause.worker_traceback
+        assert "raise ValueError" in cause.worker_traceback
+        rendered = "".join(traceback.format_exception(excinfo.value))
+        assert "explode_on_two" in rendered  # visible in the final report
+
+    @pytest.mark.skipif(not _fork_available(), reason="needs fork start method")
+    def test_forked_worker_unpicklable_exception_still_reports(self):
+        class Unpicklable(Exception):
+            def __reduce__(self):
+                raise TypeError("cannot pickle this exception")
+
+        def explode(x):
+            raise Unpicklable("nope")
+
+        pool = WorkerPool(max_workers=2, mode="process")
+        with pytest.raises(WorkerError) as excinfo:
+            pool.map(explode, range(2))
+        assert excinfo.value.exc_type == "Unpicklable"
+        assert "explode" in excinfo.value.worker_traceback
+
+    @pytest.mark.skipif(not _fork_available(), reason="needs fork start method")
+    def test_forked_pool_usable_after_a_failure(self):
+        def explode_on_two(x):
+            if x == 2:
+                raise ValueError("boom")
+            return x * 10
+
+        pool = WorkerPool(max_workers=2, mode="process")
+        with pytest.raises(ValueError):
+            pool.map(explode_on_two, range(4))
+        assert pool.map(explode_on_two, [0, 1]) == [0, 10]
 
 
 class TestBatchedWindowing:
