@@ -9,6 +9,7 @@
 #                      benchmarks/baselines.json with recorded margins)
 #   make bench       - every paper-table benchmark (slow: trains many selectors)
 #   make stream-demo - run the streaming quickstart example end to end
+#   make obs-demo    - run the observability walkthrough example end to end
 #   make docs-check  - docstring + documentation-link checks
 
 PYTHON ?= python
@@ -18,7 +19,7 @@ PYTHONPATH := src
 #: recovery loop must fail the build, not wedge it
 CHAOS_TIMEOUT ?= 600
 
-.PHONY: test chaos bench-smoke bench stream-demo docs-check
+.PHONY: test chaos bench-smoke bench stream-demo obs-demo docs-check
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -29,6 +30,7 @@ chaos:
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q benchmarks/bench_serving_throughput.py benchmarks/bench_streaming_throughput.py
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_detector_kernels.py --smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_streaming_throughput.py --smoke
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_service_scalability.py --smoke
 
 bench:
@@ -36,6 +38,9 @@ bench:
 
 stream-demo:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/streaming_quickstart.py
+
+obs-demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/observability_demo.py
 
 docs-check:
 	$(PYTHON) tools/docs_check.py

@@ -23,11 +23,24 @@ Acceptance (checked by assertions):
 * streaming per-point anomaly scores (incremental tail re-scoring for
   local detectors, full re-runs for global ones) are **bitwise identical**
   to running the selected detector on the final series.
+
+``python benchmarks/bench_streaming_throughput.py --smoke`` additionally
+gates the cost of the ``repro.obs`` instrumentation: the same tick replay
+runs once with observability disabled (the default no-op mode) and once
+fully instrumented (enabled registry + tracer + in-memory audit log), the
+selections must stay bitwise-equal, and the enabled/disabled time ratio
+must stay within ``OBS_MAX_OVERHEAD``.  Results are compared against the
+``streaming_obs_smoke`` section of ``benchmarks/baselines.json``;
+``--record`` rewrites that section (other sections are preserved).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -55,6 +68,28 @@ STREAMING_SCALE = {
 
 #: The acceptance threshold: steady-state incremental vs from-scratch per tick.
 MIN_STEADY_STATE_SPEEDUP = 5.0
+
+BASELINES_PATH = Path(__file__).resolve().parent / "baselines.json"
+
+#: Reduced scale for the obs-overhead smoke gate (fast enough for CI).
+OBS_SMOKE_SCALE = {
+    "n_train_series": 4,
+    "n_streams": 3,
+    "train_length": 400,
+    "stream_length": 2048,
+    "window": 64,
+    "chunk": 64,
+    "epochs": 1,
+    "seed": 0,
+}
+
+#: Hard cap on fully-instrumented vs disabled tick time (the ISSUE budget).
+OBS_MAX_OVERHEAD = 1.05
+
+#: Regression ceiling on disabled tick time vs the recorded baseline.  This
+#: is an absolute-wall-clock backstop (catching e.g. an accidentally hot
+#: no-op path); the primary gate is the machine-independent overhead ratio.
+OBS_TICK_TOLERANCE = 1.5
 
 
 def _build_selector(scale):
@@ -179,8 +214,125 @@ def test_streaming_throughput(benchmark):
     )
 
 
-if __name__ == "__main__":  # pragma: no cover - manual smoke entry point
+# --------------------------------------------------------------------------- #
+# smoke mode: obs instrumentation overhead (CI gate against recorded baselines)
+# --------------------------------------------------------------------------- #
+def _time_replay(selector, detector_names, records, window, chunk, instrumented):
+    """Replay all ticks once; returns (elapsed seconds, final updates).
+
+    With ``instrumented=True`` the engine is constructed under an enabled
+    metrics registry, a default tracer and an in-memory audit log — the
+    full observability surface; otherwise everything stays in the default
+    no-op mode the instrumented call sites see in production.
+    """
+    from repro import obs
+
+    previous_registry = previous_tracer = audit = None
+    if instrumented:
+        previous_registry = obs.set_default_registry(obs.MetricsRegistry(enabled=True))
+        previous_tracer = obs.set_default_tracer(obs.Tracer())
+        audit = obs.AuditLog()
+    try:
+        engine = StreamEngine(selector, detector_names,
+                              StreamingConfig(window=window), audit=audit)
+        final_updates = {}
+        start = time.perf_counter()
+        for updates in replay_records(engine, records, chunk=chunk):
+            final_updates.update(updates)
+        elapsed = time.perf_counter() - start
+    finally:
+        if instrumented:
+            obs.set_default_registry(previous_registry)
+            obs.set_default_tracer(previous_tracer)
+    return elapsed, final_updates
+
+
+def run_obs_overhead_smoke(record: bool = False) -> int:
+    """Gate the ``repro.obs`` overhead: disabled vs fully instrumented."""
+    scale = dict(STREAMING_SCALE, **OBS_SMOKE_SCALE)
+    selector, detector_names = _build_selector(scale)
+    records = _stream_records(scale)
+    window, chunk = scale["window"], scale["chunk"]
+    n_ticks = -(-scale["stream_length"] // chunk)
+
+    # One untimed warmup replay heats allocator/cache state, then each repeat
+    # times the two modes back-to-back: the per-pair ratio cancels slow drift
+    # (thermal, CPU frequency) and the median filters scheduler spikes.
+    _time_replay(selector, detector_names, records, window, chunk,
+                 instrumented=False)
+    disabled_s = float("inf")
+    ratios = []
+    disabled_updates = instrumented_updates = None
+    for _ in range(5):
+        plain_s, disabled_updates = _time_replay(
+            selector, detector_names, records, window, chunk, instrumented=False)
+        instr_s, instrumented_updates = _time_replay(
+            selector, detector_names, records, window, chunk, instrumented=True)
+        disabled_s = min(disabled_s, plain_s)
+        ratios.append(instr_s / plain_s)
+    overhead_ratio = sorted(ratios)[len(ratios) // 2]
+
+    # Observability must only read: selections bitwise-equal either way.
+    for name in sorted(disabled_updates):
+        plain, instrumented = disabled_updates[name], instrumented_updates[name]
+        assert plain.selected_index == instrumented.selected_index, name
+        assert plain.votes == instrumented.votes, f"vote vector differs on {name}"
+
+    measured = {
+        "disabled_tick_ms": round(disabled_s / n_ticks * 1000.0, 3),
+        "obs_overhead_ratio": round(overhead_ratio, 3),
+    }
+    print(f"obs smoke measurements: {json.dumps(measured)}")
+
+    baselines_doc = json.loads(BASELINES_PATH.read_text()) \
+        if BASELINES_PATH.exists() else {}
+    if record:
+        baselines_doc["streaming_obs_smoke"] = {
+            "description": "bench_streaming_throughput --smoke baselines "
+                           "(obs overhead; regenerate with --record)",
+            **measured,
+        }
+        BASELINES_PATH.write_text(json.dumps(baselines_doc, indent=2) + "\n")
+        print(f"recorded obs baselines -> {BASELINES_PATH}")
+        return 0
+
+    failures = []
+    if measured["obs_overhead_ratio"] > OBS_MAX_OVERHEAD:
+        failures.append(
+            f"obs_overhead_ratio: measured {measured['obs_overhead_ratio']:.3f} "
+            f"> cap {OBS_MAX_OVERHEAD:.2f} (instrumented vs disabled)")
+    baseline_tick = baselines_doc.get("streaming_obs_smoke", {}).get("disabled_tick_ms")
+    if baseline_tick is None:
+        print("no recorded obs baselines; run with --record first")
+        return 1
+    ceiling = OBS_TICK_TOLERANCE * baseline_tick
+    if measured["disabled_tick_ms"] > ceiling:
+        failures.append(
+            f"disabled_tick_ms: measured {measured['disabled_tick_ms']:.3f} "
+            f"> {ceiling:.3f} ({OBS_TICK_TOLERANCE:.0%} of baseline "
+            f"{baseline_tick:.3f})")
+    if failures:
+        print("SMOKE REGRESSION:\n  " + "\n  ".join(failures))
+        return 1
+    print("streaming obs smoke OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="obs-overhead CI gate against baselines.json")
+    parser.add_argument("--record", action="store_true",
+                        help="rewrite the streaming_obs_smoke section of baselines.json")
+    args = parser.parse_args()
+    if args.smoke or args.record:
+        return run_obs_overhead_smoke(record=args.record)
     out = run_streaming_benchmark()
     print(f"total speedup:        {out['total_speedup']:.1f}x")
     print(f"steady-state speedup: {out['steady_state_speedup']:.1f}x "
           f"(threshold {MIN_STEADY_STATE_SPEEDUP}x)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual smoke entry point
+    sys.exit(main())

@@ -36,6 +36,15 @@ Sub-packages
     Shared fast-kernel layer: diagonal/FFT matrix-profile kernels, tiled
     memory-budgeted distance kernels, the precision policy and runtime
     budgets that detectors, ``repro.ml`` and streaming route through.
+``repro.streaming``
+    Incremental selection + detection engine for live series: running
+    votes, drift monitoring, online scoring.
+``repro.service``
+    Sharded multi-process service over the streaming engine: consistent-
+    hash routing, shared-memory handoff, supervised recovery.
+``repro.obs``
+    Observability: metrics registry with Prometheus exposition, explicit-
+    clock tracing, replayable selection audit trail, ``explain``.
 """
 
 __version__ = "1.0.0"
@@ -53,7 +62,7 @@ def __getattr__(name):
     """
     import importlib
 
-    if name in {"ml", "detectors", "data", "text", "selectors", "core", "eval", "system", "serving", "accel", "streaming"}:
+    if name in {"ml", "detectors", "data", "text", "selectors", "core", "eval", "system", "serving", "accel", "streaming", "service", "obs"}:
         module = importlib.import_module(f".{name}", __name__)
         globals()[name] = module
         return module

@@ -1,0 +1,214 @@
+"""Append-only audit log of selection decisions, with bit-exact replay.
+
+Every consequential runtime decision — a selection, a drift-triggered
+re-selection, a cache eviction storm, a shard restart — can be recorded as
+one JSON line in an append-only log.  Selection events carry **content
+hashes of their inputs** (the same blake2b fingerprint the serving cache
+keys on, plus the windowing configuration), so any audited decision can be
+replayed bit-for-bit later: :func:`replay_selection` re-extracts the
+windows from the hashed series prefix, re-runs the selector through the
+same chunk-padded predict path and re-aggregates the same vote rows.
+
+The log itself is dumb on purpose: monotonically sequenced dicts, written
+eagerly (one ``write`` + ``flush`` per event) and mirrored in a bounded
+in-memory ring for :meth:`AuditLog.events` queries.  Timestamps are only
+attached when an explicit ``clock`` is supplied — by default events are
+clock-free, so two runs of the same ticks produce byte-identical logs.
+
+:data:`NULL_AUDIT` is the default everywhere: ``enabled`` is ``False`` and
+:meth:`NullAuditLog.record` does nothing, so instrumented code guards
+event assembly behind ``if audit.enabled`` and pays one attribute read
+when auditing is off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+
+def content_hash(series: np.ndarray, extra: Iterable[object] = ()) -> str:
+    """The serving cache's content fingerprint (dtype + shape + bytes)."""
+    from ..serving.cache import series_fingerprint  # deferred: serving imports obs
+
+    return series_fingerprint(series, extra=extra)
+
+
+class AuditLog:
+    """Append-only, sequence-numbered JSONL event log."""
+
+    enabled = True
+
+    def __init__(self, path: Optional[object] = None, keep: int = 4096,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.path = path
+        self.clock = clock
+        self._events: "deque[Dict[str, object]]" = deque(maxlen=keep)
+        self._seq = 0
+        self._lock = threading.Lock()
+        if path is not None:
+            Path(path).parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(path, "a", encoding="utf-8")
+        else:
+            self._file = None
+
+    # ------------------------------------------------------------------ #
+    def record(self, event: str, **fields: object) -> Dict[str, object]:
+        """Append one event; returns the stored dict (seq included)."""
+        with self._lock:
+            self._seq += 1
+            entry: Dict[str, object] = {"seq": self._seq, "event": event}
+            if self.clock is not None:
+                entry["ts"] = self.clock()
+            entry.update(fields)
+            self._events.append(entry)
+            if self._file is not None:
+                self._file.write(json.dumps(entry) + "\n")
+                self._file.flush()
+        return entry
+
+    def events(self, event: Optional[str] = None,
+               stream: Optional[str] = None) -> List[Dict[str, object]]:
+        """Recorded events (bounded by ``keep``), optionally filtered."""
+        with self._lock:
+            entries = list(self._events)
+        if event is not None:
+            entries = [e for e in entries if e.get("event") == event]
+        if stream is not None:
+            entries = [e for e in entries if e.get("stream") == stream]
+        return entries
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    @staticmethod
+    def read(path) -> List[Dict[str, object]]:
+        """Load every event of a JSONL audit file (skips blank lines)."""
+        events = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"AuditLog(seq={self._seq}, path={self.path!r})"
+
+
+class NullAuditLog:
+    """The default audit log: records nothing, costs one attribute read."""
+
+    enabled = False
+
+    def record(self, event: str, **fields: object) -> None:
+        return None
+
+    def events(self, event: Optional[str] = None,
+               stream: Optional[str] = None) -> List[Dict[str, object]]:
+        return []
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NullAuditLog()"
+
+
+NULL_AUDIT = NullAuditLog()
+
+
+# --------------------------------------------------------------------------- #
+# replay: recompute an audited selection decision bit-for-bit
+# --------------------------------------------------------------------------- #
+def selection_inputs(series: np.ndarray, window: int, stride: int,
+                     aggregation: str, vote_start: int,
+                     predict_batch_size: int) -> Dict[str, object]:
+    """The replayable ``inputs`` block of a selection audit event."""
+    series = np.ascontiguousarray(np.asarray(series, dtype=np.float64))
+    return {
+        "series_hash": content_hash(series, extra=(window, stride, aggregation)),
+        "length": int(len(series)),
+        "window": int(window),
+        "stride": int(stride),
+        "aggregation": str(aggregation),
+        "vote_start": int(vote_start),
+        "predict_batch_size": int(predict_batch_size),
+    }
+
+
+def replay_selection(event: Dict[str, object], series: np.ndarray,
+                     selector) -> Dict[str, object]:
+    """Recompute a recorded selection from its content-hashed inputs.
+
+    ``series`` must contain (a prefix reaching) the audited stream bytes;
+    the recorded hash is verified before anything is computed.  The
+    recomputation follows the engine's own path — complete windows only,
+    the chunk-padded selector predict, the batch pipeline's aggregation
+    over the recorded vote range — so on the NN selector path the returned
+    votes are bitwise-equal to the audited ones.
+
+    Raises ``ValueError`` on hash mismatch or a provisional (pre-window)
+    event, which has no complete-window vote to replay.
+    """
+    from ..data.windows import extract_new_windows  # deferred: heavy import chain
+    from ..eval.evaluation import aggregate_window_probas
+    from ..streaming.selector import StreamingSelector
+
+    if event.get("event") != "selection":
+        raise ValueError(f"not a selection event: {event.get('event')!r}")
+    if event.get("provisional"):
+        raise ValueError("provisional selections (no complete window) "
+                         "are recomputed every tick and cannot be replayed")
+    inputs = event.get("inputs")
+    if not inputs:
+        raise ValueError("event carries no replayable inputs")
+
+    series = np.ascontiguousarray(
+        np.asarray(series, dtype=np.float64).ravel()[: int(inputs["length"])])
+    if len(series) != int(inputs["length"]):
+        raise ValueError(f"series too short: {len(series)} < {inputs['length']}")
+    window, stride = int(inputs["window"]), int(inputs["stride"])
+    aggregation = str(inputs["aggregation"])
+    observed = content_hash(series, extra=(window, stride, aggregation))
+    if observed != inputs["series_hash"]:
+        raise ValueError(f"content hash mismatch: {observed} != {inputs['series_hash']}")
+
+    votes: Dict[str, float] = dict(event["votes"])
+    streaming = StreamingSelector(
+        selector,
+        n_classes=len(votes),
+        window=window,
+        stride=stride,
+        aggregation=aggregation,
+        predict_batch_size=int(inputs["predict_batch_size"]),
+    )
+    windows = extract_new_windows(series, window, n_emitted=0, stride=stride)
+    probas = streaming.predict_proba(windows)
+    active = probas[int(inputs["vote_start"]):]
+    if not len(active):
+        raise ValueError("recorded vote range is empty")
+    choice, aggregated = aggregate_window_probas(active, aggregation)
+    names = list(votes)
+    return {
+        "stream": event.get("stream"),
+        "selected_index": int(choice),
+        "selected_model": names[int(choice)] if int(choice) < len(names) else None,
+        "votes": {name: float(aggregated[k]) for k, name in enumerate(names)},
+        "n_windows": int(len(active)),
+    }

@@ -36,7 +36,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..data.windows import complete_window_count
 from ..detectors.base import AnomalyDetector
+from ..obs.audit import NULL_AUDIT, selection_inputs
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS, Counter, default_registry
+from ..obs.trace import span
 from ..selectors.base import Selector
 from ..serving.cache import LRUCache
 from ..streaming.engine import StreamEngine, StreamingConfig
@@ -66,6 +70,10 @@ def make_engine_factory(
     """
     def build() -> StreamEngine:
         return StreamEngine(selector, detector_names, config, model_set=model_set)
+    # advertised so the router can stamp replayable windowing inputs onto
+    # its audit events without asking a shard
+    build.streaming_config = config or StreamingConfig()
+    build.detector_names = list(detector_names)
     return build
 
 
@@ -93,6 +101,7 @@ class ShardedService:
         engine_factory: Callable[[], StreamEngine],
         config: Optional[ServiceConfig] = None,
         injector_factory: Optional[Callable[[str], Optional[FaultInjector]]] = None,
+        audit: Optional[object] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         if self.config.n_shards < 1:
@@ -105,13 +114,35 @@ class ShardedService:
         #: per-stream flushed-prefix lengths, in flush order (the journal)
         self._journal: Dict[str, List[int]] = {}
         self._staged: set = set()
-        self._selection_cache = (LRUCache(self.config.selection_cache_capacity)
+        self._selection_cache = (LRUCache(self.config.selection_cache_capacity,
+                                          name="frontend_selection")
                                  if self.config.selection_cache_capacity > 0 else None)
         self._next_shard_index = 0
         self._closed = False
+        #: structured audit trail (``repro.obs.audit``); a no-op by default
+        self.audit = audit if audit is not None else NULL_AUDIT
+        #: windowing knobs advertised by :func:`make_engine_factory`, used to
+        #: stamp replayable inputs onto audited selections (None when the
+        #: factory came from elsewhere)
+        self._streaming_config: Optional[StreamingConfig] = getattr(
+            engine_factory, "streaming_config", None)
         #: counters surfaced in :meth:`stats`
         self.recoveries = 0
         self.invalidations_broadcast = 0
+        self._retired_retransmits = 0
+        registry = default_registry()
+        self._registry = registry
+        self._c_recoveries = registry.register(Counter(
+            "repro_service_recoveries_total",
+            "supervised shard recoveries (kill + respawn + replay)"))
+        self._c_invalidations = registry.register(Counter(
+            "repro_service_invalidations_total",
+            "broadcast selection-memo invalidations after drift"))
+        self._h_replay_depth = registry.histogram(
+            "repro_service_replay_boundaries",
+            "journalled flush boundaries replayed per recovered stream",
+            buckets=DEFAULT_COUNT_BUCKETS)
+        self._latency_hist: Dict[str, object] = {}
         for _ in range(self.config.n_shards):
             self.add_shard(rebalance=False)
 
@@ -172,46 +203,70 @@ class ShardedService:
             new_owners.setdefault(self.ring.owner(stream), []).append(stream)
         for new_owner, streams in sorted(new_owners.items()):
             self._replay_streams(new_owner, streams)
-        client = self._clients.pop(shard_id, None)
+        client = self._clients.get(shard_id)
         if client is not None:
             try:
                 client.request("shutdown")
             except (RuntimeError, OSError):  # pragma: no cover - best effort
                 pass
-            client.close()
+        self._retire_client(shard_id)
         self.supervisor.forget(shard_id)
 
     # ------------------------------------------------------------------ #
     # request path with supervised recovery
     # ------------------------------------------------------------------ #
+    def _shard_latency(self, shard_id: str):
+        histogram = self._latency_hist.get(shard_id)
+        if histogram is None:
+            histogram = self._registry.histogram(
+                "repro_service_request_seconds",
+                "front-end request latency per shard", shard=shard_id)
+            self._latency_hist[shard_id] = histogram
+        return histogram
+
     def _request(self, shard_id: str, op: str, **fields: object) -> Dict[str, object]:
         """One shard request; on failure, recover the shard and retry once."""
         for attempt in (1, 2):
             client = self._clients.get(shard_id) or self._connect(shard_id)
             try:
-                return client.request(op, **fields)
+                with self._shard_latency(shard_id).time(), \
+                        span("service.request", shard=shard_id, op=op):
+                    return client.request(op, **fields)
             except (ShardTimeoutError, TransportError, ConnectionError, OSError):
                 if attempt == 2:
                     raise
                 self._recover(shard_id)
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def _retire_client(self, shard_id: str) -> None:
+        """Close a shard's client, folding its retransmit count into stats."""
+        client = self._clients.pop(shard_id, None)
+        if client is not None:
+            self._retired_retransmits += client.retransmits
+            client.close()
+
     def _recover(self, shard_id: str) -> None:
         """Supervised recovery: kill + respawn + replay the shard's streams."""
         self.recoveries += 1
-        client = self._clients.pop(shard_id, None)
-        if client is not None:
-            client.close()
+        self._c_recoveries.inc()
+        self._retire_client(shard_id)
         self.supervisor.restart(shard_id)
         self._connect(shard_id)
         owned = [stream for stream in self._buffers
                  if self.ring.owner(stream) == shard_id]
+        if self.audit.enabled:
+            self.audit.record(
+                "shard_restart", shard=shard_id,
+                streams=len(owned),
+                replay_depth=sum(len(self._journal.get(s) or ()) for s in owned))
         self._replay_streams(shard_id, owned)
 
     def _replay_streams(self, shard_id: str, streams: Sequence[str]) -> None:
         flushed = [s for s in sorted(streams) if self._journal.get(s)]
         if not flushed:
             return
+        for stream in flushed:
+            self._h_replay_depth.observe(len(self._journal[stream]))
         payload = [{
             "stream": stream,
             "shm": self._buffers[stream].name,
@@ -297,11 +352,58 @@ class ShardedService:
                 })
         if drifted:
             self._broadcast_invalidate(drifted)
+        if self.audit.enabled:
+            for stream in sorted(updates):
+                self._audit_update(stream, updates[stream])
         return updates
+
+    def _audit_update(self, stream: str, update: Dict[str, object]) -> None:
+        """Audit one flush decision from the router's vantage point.
+
+        The shard computed the decision; the router owns the bytes (the
+        shared buffer) and the windowing knobs the engine factory
+        advertised, so it can stamp the same replayable content-hashed
+        inputs the in-process engine records.  ``vote_start`` is recovered
+        from the total complete-window count minus the rows still voting.
+        """
+        inputs = None
+        cfg = self._streaming_config
+        if cfg is not None and not update.get("provisional"):
+            stride = cfg.stride or cfg.window
+            total = complete_window_count(int(update["length"]), cfg.window, stride)
+            inputs = selection_inputs(
+                self._buffers[stream].series,
+                window=cfg.window, stride=stride,
+                aggregation=cfg.aggregation,
+                vote_start=max(total - int(update["windows"]), 0),
+                predict_batch_size=cfg.predict_batch_size)
+        if update.get("drift_triggered"):
+            self.audit.record(
+                "drift", stream=stream,
+                statistic=float(update.get("drift_statistic") or 0.0))
+        if update.get("changed"):
+            self.audit.record(
+                "reselection", stream=stream,
+                selected_index=update["selected_index"],
+                selected_model=update["selected_model"])
+        self.audit.record(
+            "selection", stream=stream,
+            length=update["length"],
+            n_new_windows=update["new_windows"],
+            n_windows=update["windows"],
+            selected_index=update["selected_index"],
+            selected_model=update["selected_model"],
+            votes=dict(update["votes"]),
+            changed=bool(update["changed"]),
+            provisional=bool(update["provisional"]),
+            drift_statistic=float(update.get("drift_statistic") or 0.0),
+            drift_triggered=bool(update.get("drift_triggered")),
+            inputs=inputs)
 
     def _broadcast_invalidate(self, streams: List[str]) -> None:
         """Drift re-selection changed answers: clear every shard's memo."""
         self.invalidations_broadcast += 1
+        self._c_invalidations.inc()
         for shard_id in self.shard_ids:
             self._request(shard_id, "invalidate", streams=streams)
 
@@ -332,6 +434,25 @@ class ShardedService:
         """Every point received on one stream (front-end shared memory)."""
         return self._buffers[stream_id].series
 
+    def explain(self, stream_id: str) -> Optional[Dict[str, object]]:
+        """Vote breakdown + drift trajectory from the stream's owning shard."""
+        response = self._request(self.ring.owner(stream_id), "explain",
+                                 stream=stream_id)
+        return response.get("explain")
+
+    def metrics_text(self) -> str:
+        """Prometheus text: the router's registry plus every shard's.
+
+        Sections are separated by ``# shard: <id>`` comment headers; the
+        router section comes first.  Shard registries live in forked
+        processes, so their samples are fetched over the request protocol.
+        """
+        sections = ["# service: frontend\n" + self._registry.render_prometheus()]
+        for shard_id in self.shard_ids:
+            response = self._request(shard_id, "metrics")
+            sections.append(f"# shard: {shard_id}\n" + str(response.get("metrics", "")))
+        return "\n".join(sections)
+
     @property
     def stream_ids(self) -> List[str]:
         return sorted(self._buffers)
@@ -355,6 +476,8 @@ class ShardedService:
             "restarts": self.supervisor.restarts,
             "recoveries": self.recoveries,
             "invalidations_broadcast": self.invalidations_broadcast,
+            "transport_retransmits": self._retired_retransmits + sum(
+                client.retransmits for client in self._clients.values()),
             "selection_cache": ({
                 "hits": cache_stats.hits,
                 "misses": cache_stats.misses,
@@ -373,6 +496,7 @@ class ShardedService:
                 client.request("shutdown")
             except (RuntimeError, OSError, ConnectionError, TimeoutError):
                 pass  # a dead shard cannot acknowledge its shutdown
+            self._retired_retransmits += client.retransmits
             client.close()
         self._clients.clear()
         self.supervisor.stop_all()
@@ -399,7 +523,8 @@ class ServiceFrontend:
     """Serve :class:`ShardedService` over TCP (length-prefixed JSON).
 
     Client ops mirror the Python API: ``push`` (stream + values), ``append``
-    + ``flush``, ``select``, ``scores``, ``stats``, ``ping``.  Values arrive
+    + ``flush``, ``select``, ``scores``, ``stats``, ``explain``,
+    ``metrics``, ``ping``.  Values arrive
     as JSON arrays from remote clients; the zero-copy handoff applies on the
     front-end → shard hop.  Service calls are serialised by a lock and run
     in a worker thread so one slow shard request does not stall the accept
@@ -486,4 +611,8 @@ class ServiceFrontend:
                                    for s in self.service.scores(str(request["stream"]))]}
             if op == "stats":
                 return {"stats": self.service.stats()}
+            if op == "explain":
+                return {"explain": self.service.explain(str(request["stream"]))}
+            if op == "metrics":
+                return {"metrics": self.service.metrics_text()}
             raise ValueError(f"unknown op {op!r}")

@@ -35,6 +35,7 @@ import time
 from collections import OrderedDict
 from typing import Callable, Dict, List
 
+from ..obs.metrics import Counter, default_registry
 from ..streaming.engine import StreamEngine
 from .transport import (
     SharedSegmentCache,
@@ -73,6 +74,13 @@ class ShardServer:
         self._segments = SharedSegmentCache()
         self._engine_lock = threading.Lock()
         self._running = True
+        #: requests answered from the exactly-once response cache after the
+        #: fault injector duplicated (or the client retransmitted) a frame —
+        #: the chaos suite asserts on this instead of inferring from timing
+        self._duplicates_suppressed = default_registry().register(Counter(
+            "repro_shard_duplicates_suppressed_total",
+            "requests answered from the exactly-once response cache",
+            {"shard": shard_id}))
         #: memoised ``select`` responses, invalidated by pushes/invalidate
         self._select_memo: Dict[str, Dict[str, object]] = {}
         #: chaos: seconds to sleep before handling each request
@@ -118,6 +126,11 @@ class ShardServer:
                     time.sleep(self._chaos_sleep_s)
                 seq = request.get("seq")
                 if seq in responses:  # retransmit/duplicate: answer, don't redo
+                    self._duplicates_suppressed.inc()
+                    if self.engine.audit.enabled:
+                        self.engine.audit.record(
+                            "duplicate_suppressed", shard=self.shard_id,
+                            seq=seq, op=request.get("op"))
                     send_message(conn, responses[seq])
                     continue
                 try:
@@ -219,8 +232,24 @@ class ShardServer:
         return {"length": int(len(self.engine.series(stream)))}
 
     def _op_stats(self, request: Dict[str, object]) -> Dict[str, object]:
-        return {"stats": _stats_dict(self.engine),
+        stats = _stats_dict(self.engine)
+        stats["duplicates_suppressed"] = self._duplicates_suppressed.value
+        return {"stats": stats,
                 "streams": sorted(self.engine.stream_ids)}
+
+    def _op_explain(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Vote breakdown + drift trajectory for one owned stream."""
+        from ..obs.explain import explain_stream  # deferred: UI-side helper
+
+        stream = str(request["stream"])
+        if stream not in self.engine:
+            return {"explain": None}
+        return {"explain": explain_stream(self.engine, stream)}
+
+    def _op_metrics(self, request: Dict[str, object]) -> Dict[str, object]:
+        """This shard process's metrics in Prometheus text format."""
+        return {"metrics": default_registry().render_prometheus(),
+                "shard": self.shard_id}
 
     def _op_drop_streams(self, request: Dict[str, object]) -> Dict[str, object]:
         dropped = 0

@@ -356,9 +356,16 @@ class ShardClient:
     def __init__(self, port: int, host: str = "127.0.0.1",
                  timeout_s: float = 10.0,
                  injector: Optional[FaultInjector] = None) -> None:
+        from ..obs.metrics import default_registry  # deferred: keep transport import-light
+
         self.timeout_s = timeout_s
         self.injector = injector
         self._seq = 0
+        #: same-seq retransmissions after an injected drop (transport retries)
+        self.retransmits = 0
+        self._c_retransmits = default_registry().counter(
+            "repro_transport_retransmits_total",
+            "same-seq retransmissions after a dropped request frame")
         self._sock = socket.create_connection((host, port), timeout=timeout_s)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._reader = FrameReader(self._sock)
@@ -386,6 +393,8 @@ class ShardClient:
                 raise
             except TimeoutError:
                 if dropped:
+                    self.retransmits += 1
+                    self._c_retransmits.inc()
                     dropped = self._send(frame)
                     continue
                 raise ShardTimeoutError(

@@ -24,6 +24,8 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from ..obs.metrics import Counter, default_registry
+
 
 def series_fingerprint(series: np.ndarray, extra: Iterable[object] = ()) -> str:
     """Content-addressed key of a series (plus config tokens in ``extra``).
@@ -64,26 +66,39 @@ class CacheStats:
 
 
 class LRUCache:
-    """A thread-safe, fixed-capacity least-recently-used map."""
+    """A thread-safe, fixed-capacity least-recently-used map.
 
-    def __init__(self, capacity: int = 4096) -> None:
+    The hit/miss/eviction counters are :class:`repro.obs.metrics.Counter`
+    objects — always functional, so :attr:`stats` never changes behaviour —
+    and are registered on the default metrics registry under the cache's
+    ``name`` label, so ``render_prometheus()`` exposes every cache that was
+    built while observability was enabled.
+    """
+
+    def __init__(self, capacity: int = 4096, name: str = "cache") -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self.name = name
         self._entries: "OrderedDict[str, object]" = OrderedDict()
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        registry = default_registry()
+        labels = {"cache": name}
+        self._hits = registry.register(Counter(
+            "repro_cache_hits_total", "lookups answered from the cache", labels))
+        self._misses = registry.register(Counter(
+            "repro_cache_misses_total", "lookups that missed the cache", labels))
+        self._evictions = registry.register(Counter(
+            "repro_cache_evictions_total", "entries evicted by the LRU policy", labels))
 
     def get(self, key: str) -> Optional[object]:
         """Return the cached value (refreshing recency) or ``None``."""
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-                self._hits += 1
+                self._hits.inc()
                 return self._entries[key]
-            self._misses += 1
+            self._misses.inc()
             return None
 
     def put(self, key: str, value: object) -> None:
@@ -94,7 +109,7 @@ class LRUCache:
             self._entries[key] = value
             if len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self._evictions += 1
+                self._evictions.inc()
 
     def clear(self) -> None:
         """Drop every entry (the counters keep accumulating)."""
@@ -111,12 +126,12 @@ class LRUCache:
 
     @property
     def stats(self) -> CacheStats:
-        """A consistent snapshot of the counters."""
+        """A consistent snapshot of the counters (a thin registry view)."""
         with self._lock:
             return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                evictions=self._evictions,
+                hits=self._hits.value,
+                misses=self._misses.value,
+                evictions=self._evictions.value,
                 size=len(self._entries),
                 capacity=self.capacity,
             )

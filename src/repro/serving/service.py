@@ -36,6 +36,9 @@ from ..core.inference import DEFAULT_PREDICT_BATCH_SIZE
 from ..data.records import TimeSeriesRecord
 from ..data.windows import extract_windows_batch
 from ..eval.evaluation import aggregate_window_probas
+from ..obs.audit import NULL_AUDIT
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS, default_registry
+from ..obs.trace import span
 from ..selectors.base import Selector
 from ..selectors.nn_selector import NNSelector
 from .cache import CacheStats, LRUCache, series_fingerprint
@@ -88,17 +91,34 @@ class SelectionResult:
 class SelectionService:
     """Serve model-selection queries from a trained selector, at scale."""
 
+    #: evictions inside one batch at or above this fraction of the cache
+    #: capacity are audited as a ``cache_eviction_storm`` event
+    EVICTION_STORM_FRACTION = 0.25
+
     def __init__(
         self,
         selector: Selector,
         detector_names: Sequence[str],
         config: Optional[ServingConfig] = None,
+        audit: Optional[object] = None,
     ) -> None:
         self.selector = selector
         self.detector_names = list(detector_names)
         self.config = config or ServingConfig()
-        self.cache = LRUCache(self.config.cache_capacity)
+        self.cache = LRUCache(self.config.cache_capacity, name="serving_selection")
         self.workers = WorkerPool(self.config.max_workers, mode=self.config.worker_mode)
+        self.audit = audit if audit is not None else NULL_AUDIT
+        registry = default_registry()
+        self._h_batch_series = registry.histogram(
+            "repro_serving_batch_series", "series per select_batch call",
+            buckets=DEFAULT_COUNT_BUCKETS)
+        self._h_batch_windows = registry.histogram(
+            "repro_serving_batch_windows", "stacked windows per cache-missing batch",
+            buckets=DEFAULT_COUNT_BUCKETS)
+        self._h_forward_seconds = registry.histogram(
+            "repro_serving_forward_seconds", "selector forward-pass latency per batch")
+        self._h_detect_seconds = registry.histogram(
+            "repro_serving_detect_seconds", "worker fan-out latency per detect_batch")
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -135,6 +155,8 @@ class SelectionService:
     def select_batch(self, records: Sequence[TimeSeriesRecord]) -> List[SelectionResult]:
         """Answer a batch of series, vectorised across the cache misses."""
         results: List[Optional[SelectionResult]] = [None] * len(records)
+        self._h_batch_series.observe(len(records))
+        evictions_before = self.cache.stats.evictions
 
         # One cache lookup per unique series; duplicates share the outcome.
         occurrences: Dict[str, List[int]] = {}
@@ -160,7 +182,10 @@ class SelectionService:
                 cfg.window,
                 stride=cfg.stride,
             )
-            proba = self._predict_proba(windows)
+            self._h_batch_windows.observe(len(windows))
+            with self._h_forward_seconds.time(), \
+                    span("serving.forward", windows=len(windows), series=len(miss_keys)):
+                proba = self._predict_proba(windows)
             for j, key in enumerate(miss_keys):
                 series_proba = proba[offsets[j]:offsets[j + 1]]
                 choice, aggregated = aggregate_window_probas(series_proba, cfg.aggregation)
@@ -176,6 +201,14 @@ class SelectionService:
                     results[i] = replace(result, series_name=records[i].name,
                                          votes=dict(result.votes))
 
+        if self.audit.enabled:
+            evicted = self.cache.stats.evictions - evictions_before
+            storm_floor = max(8, int(self.cache.capacity * self.EVICTION_STORM_FRACTION))
+            if evicted >= storm_floor:
+                self.audit.record(
+                    "cache_eviction_storm", cache=self.cache.name,
+                    evicted=int(evicted), capacity=int(self.cache.capacity),
+                    batch_series=len(records))
         return results  # type: ignore[return-value]
 
     def select(self, record: TimeSeriesRecord) -> SelectionResult:
@@ -205,7 +238,9 @@ class SelectionService:
             )
             return selection, detection
 
-        return self.workers.map(detect_one, zip(records, selections))
+        with self._h_detect_seconds.time(), \
+                span("serving.detect", series=len(records)):
+            return self.workers.map(detect_one, zip(records, selections))
 
     # ------------------------------------------------------------------ #
     @property

@@ -83,6 +83,8 @@ class DriftMonitor:
         self._armed = True
         #: total re-selections this monitor has triggered
         self.triggers = 0
+        #: bounded per-update statistic trajectory (the explain surface)
+        self.history: Deque[float] = deque(maxlen=512)
 
     # ------------------------------------------------------------------ #
     @property
@@ -107,6 +109,7 @@ class DriftMonitor:
         self._since_trigger += len(probas)
 
         stat = self.statistic
+        self.history.append(stat)
         ready = (self._reference is not None
                  and len(self._recent) >= self.config.recent_size)
         # The release gate re-arms only once the statistic is actually

@@ -32,6 +32,9 @@ import numpy as np
 
 from ..core.inference import DEFAULT_PREDICT_BATCH_SIZE
 from ..detectors.base import AnomalyDetector
+from ..obs.audit import NULL_AUDIT, selection_inputs
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS, Counter, default_registry
+from ..obs.trace import span
 from ..selectors.base import Selector
 from ..serving.batching import window_budget_groups
 from ..serving.cache import CacheStats
@@ -145,9 +148,12 @@ class StreamEngine:
         detector_names: Sequence[str],
         config: Optional[StreamingConfig] = None,
         model_set: Optional[Dict[str, AnomalyDetector]] = None,
+        audit: Optional[object] = None,
     ) -> None:
         self.detector_names = list(detector_names)
         self.config = config or StreamingConfig()
+        #: structured audit trail (``repro.obs.audit``); a no-op by default
+        self.audit = audit if audit is not None else NULL_AUDIT
         self.model_set = model_set
         if model_set is not None:
             missing = [n for n in self.detector_names if n not in model_set]
@@ -164,8 +170,27 @@ class StreamEngine:
         )
         self.workers = WorkerPool(self.config.max_workers)
         self._streams: Dict[str, _StreamState] = {}
-        self._points = 0
-        self._flushes = 0
+        registry = default_registry()
+        # always-real counters (the stats surface); registered for exposition
+        self._points = registry.register(Counter(
+            "repro_stream_points_total", "points appended across every stream"))
+        self._flushes = registry.register(Counter(
+            "repro_stream_flushes_total", "flush (tick) executions"))
+        self._drift_triggers = registry.register(Counter(
+            "repro_stream_drift_triggers_total",
+            "drift-triggered vote resets across every stream"))
+        self._reselections = registry.register(Counter(
+            "repro_stream_reselections_total",
+            "flushes that changed a stream's selected model"))
+        # pure-observability site metrics: null (free) until obs is enabled
+        self._h_flush_seconds = registry.histogram(
+            "repro_stream_flush_seconds", "wall-clock latency of one flush")
+        self._h_flush_windows = registry.histogram(
+            "repro_stream_flush_windows", "new complete windows per flush",
+            buckets=DEFAULT_COUNT_BUCKETS)
+        self._h_flush_streams = registry.histogram(
+            "repro_stream_flush_streams", "pending streams per flush",
+            buckets=DEFAULT_COUNT_BUCKETS)
 
     # ------------------------------------------------------------------ #
     # stream management
@@ -213,7 +238,7 @@ class StreamEngine:
         state = self._ensure_stream(stream_id)
         state.buffer.extend(values)
         state.pending = True
-        self._points += len(values)
+        self._points.inc(len(values))
 
     def append_view(self, stream_id: str, series: np.ndarray) -> None:
         """Stage an externally stored series prefix (zero-copy handoff).
@@ -229,7 +254,7 @@ class StreamEngine:
         previous = state.buffer.length
         state.buffer.attach(series)
         state.pending = True
-        self._points += state.buffer.length - previous
+        self._points.inc(state.buffer.length - previous)
 
     def push(self, stream_id: str, values: np.ndarray) -> StreamUpdate:
         """Append to one stream and flush immediately (single-stream ticks)."""
@@ -251,7 +276,11 @@ class StreamEngine:
                    if state.pending]
         if not pending:
             return {}
-        self._flushes += 1
+        with self._h_flush_seconds.time(), span("engine.flush", streams=len(pending)):
+            return self._flush_pending(pending)
+
+    def _flush_pending(self, pending) -> Dict[str, StreamUpdate]:
+        self._flushes.inc()
 
         # 1. incremental windowing: only the windows that became complete
         new_windows = [state.buffer.take_new_windows() for _, state in pending]
@@ -261,12 +290,15 @@ class StreamEngine:
             np.empty((0, len(self.detector_names))) for _ in pending
         ]
         counts = [len(w) for w in new_windows]
+        self._h_flush_windows.observe(sum(counts))
+        self._h_flush_streams.observe(len(pending))
         for group in window_budget_groups(counts, self.config.max_batch_windows):
             members = [i for i in group if counts[i]]
             if not members:
                 continue
             stacked = np.vstack([new_windows[i] for i in members])
-            group_probas = self.streaming_selector.predict_proba(stacked)
+            with span("engine.forward", windows=len(stacked), streams=len(members)):
+                group_probas = self.streaming_selector.predict_proba(stacked)
             offset = 0
             for i in members:
                 probas[i] = group_probas[offset:offset + counts[i]]
@@ -283,14 +315,18 @@ class StreamEngine:
                 decision = state.monitor.update(stream_probas)
                 drift_stat, drift_triggered = decision.statistic, decision.triggered
                 if drift_triggered:
+                    self._drift_triggers.inc()
                     self.streaming_selector.reset_votes(
                         state.votes, keep_last=self.config.keep_last_on_drift)
 
             view = self.streaming_selector.selection(state.votes, series=state.buffer.series)
             selected_index = view.selected_index if view is not None else None
+            previous_index = state.selected_index
             changed = (selected_index is not None
                        and state.selected_index is not None
                        and selected_index != state.selected_index)
+            if changed:
+                self._reselections.inc()
             state.selected_index = selected_index
 
             if self.model_set is not None and selected_index is not None:
@@ -320,21 +356,75 @@ class StreamEngine:
                 drift_triggered=drift_triggered,
             )
             state.pending = False
+            if self.audit.enabled:
+                self._audit_update(stream_id, state, updates[stream_id], previous_index)
 
         # 4. per-stream scoring fan-out (independent work, thread-friendly)
         if to_score:
-            self.workers.map(lambda state: state.scorer.update(state.buffer.series), to_score)
+            with span("engine.score", streams=len(to_score)):
+                self.workers.map(
+                    lambda state: state.scorer.update(state.buffer.series), to_score)
 
         return updates
 
+    def _audit_update(self, stream_id: str, state: _StreamState,
+                      update: StreamUpdate, previous_index: Optional[int]) -> None:
+        """Record one flush's decision for ``stream_id`` (audit enabled only).
+
+        The ``selection`` event carries content-hashed, replayable inputs
+        (:func:`repro.obs.audit.selection_inputs`); drift triggers and
+        model changes additionally get their own events.
+        """
+        if update.drift_triggered:
+            self.audit.record(
+                "drift", stream=stream_id,
+                statistic=float(update.drift_statistic),
+                keep_last=self.config.keep_last_on_drift,
+                vote_start=int(state.votes.vote_start))
+        if update.changed:
+            self.audit.record(
+                "reselection", stream=stream_id,
+                previous_index=previous_index,
+                previous_model=(self.detector_names[previous_index]
+                                if previous_index is not None else None),
+                selected_index=update.selected_index,
+                selected_model=update.selected_model)
+        self.audit.record(
+            "selection", stream=stream_id,
+            length=update.length,
+            n_new_windows=update.n_new_windows,
+            n_windows=update.n_windows,
+            selected_index=update.selected_index,
+            selected_model=update.selected_model,
+            votes=dict(update.votes),
+            changed=update.changed,
+            provisional=update.provisional,
+            drift_statistic=float(update.drift_statistic),
+            drift_triggered=update.drift_triggered,
+            inputs=selection_inputs(
+                state.buffer.series,
+                window=self.config.window,
+                stride=self.config.stride or self.config.window,
+                aggregation=self.config.aggregation,
+                vote_start=state.votes.vote_start,
+                predict_batch_size=self.config.predict_batch_size,
+            ))
+
     # ------------------------------------------------------------------ #
+    def explain(self, stream_id: str) -> Dict[str, object]:
+        """Why is this stream's detector selected?  (vote breakdown, margin,
+        drift trajectory — see :func:`repro.obs.explain.explain_stream`)."""
+        from ..obs.explain import explain_stream  # deferred: obs.explain is UI-side
+
+        return explain_stream(self, stream_id)
+
     @property
     def stats(self) -> StreamEngineStats:
-        """Aggregate counters (windows avoided, cache traffic, drift, ...)."""
+        """Aggregate counters, a thin view over the registry-backed metrics."""
         return StreamEngineStats(
             n_streams=len(self._streams),
-            flushes=self._flushes,
-            points=self._points,
+            flushes=self._flushes.value,
+            points=self._points.value,
             windows=sum(s.buffer.n_windows for s in self._streams.values()),
             forward_windows=self.streaming_selector.forward_windows,
             cached_windows=self.streaming_selector.cached_windows,

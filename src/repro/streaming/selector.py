@@ -30,6 +30,7 @@ import numpy as np
 from ..core.inference import DEFAULT_PREDICT_BATCH_SIZE
 from ..data.windows import extract_windows
 from ..eval.evaluation import aggregate_window_probas
+from ..obs.metrics import Counter, default_registry
 from ..selectors.base import Selector
 from ..selectors.nn_selector import NNSelector
 from ..serving.cache import CacheStats, LRUCache, series_fingerprint
@@ -106,13 +107,27 @@ class StreamingSelector:
         self.stride = stride or window
         self.aggregation = aggregation
         self.predict_batch_size = predict_batch_size
-        self.cache = LRUCache(cache_capacity) if cache_capacity > 0 else None
-        #: windows sent through an actual selector forward pass
-        self.forward_windows = 0
-        #: windows answered from the window-probability cache
-        self.cached_windows = 0
+        self.cache = (LRUCache(cache_capacity, name="window_proba")
+                      if cache_capacity > 0 else None)
+        registry = default_registry()
+        self._forward_windows = registry.register(Counter(
+            "repro_stream_forward_windows_total",
+            "windows sent through an actual selector forward pass"))
+        self._cached_windows = registry.register(Counter(
+            "repro_stream_cached_windows_total",
+            "windows answered from the window-probability cache"))
 
     # ------------------------------------------------------------------ #
+    @property
+    def forward_windows(self) -> int:
+        """Windows sent through an actual selector forward pass."""
+        return self._forward_windows.value
+
+    @property
+    def cached_windows(self) -> int:
+        """Windows answered from the window-probability cache."""
+        return self._cached_windows.value
+
     def new_state(self) -> StreamVoteState:
         return StreamVoteState(self.n_classes)
 
@@ -143,7 +158,7 @@ class StreamingSelector:
         if len(windows) == 0:
             return np.empty((0, self.n_classes), dtype=np.float64)
         if self.cache is None:
-            self.forward_windows += len(windows)
+            self._forward_windows.inc(len(windows))
             return self._forward(windows)
 
         proba = np.empty((len(windows), self.n_classes), dtype=np.float64)
@@ -160,8 +175,8 @@ class StreamingSelector:
             for j, i in enumerate(miss_indices):
                 proba[i] = computed[j]
                 self.cache.put(keys[i], computed[j].copy())
-        self.forward_windows += len(miss_indices)
-        self.cached_windows += len(windows) - len(miss_indices)
+        self._forward_windows.inc(len(miss_indices))
+        self._cached_windows.inc(len(windows) - len(miss_indices))
         return proba
 
     # ------------------------------------------------------------------ #

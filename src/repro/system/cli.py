@@ -20,6 +20,11 @@ be driven without writing Python:
 * ``serve-sharded`` — run the streaming engine across N supervised shard
   processes: replay series files through the sharded service, or listen on
   a TCP port for length-prefixed JSON requests.
+* ``explain``       — explain a stream's selection (vote breakdown, winner
+  margin, drift trajectory) from a recorded audit log or a running
+  ``serve-sharded`` front end.
+* ``metrics``       — fetch Prometheus text metrics from a running
+  ``serve-sharded`` front end (router + every shard).
 * ``list-selectors`` — show the contents of a selector store.
 
 Run ``python -m repro.system.cli --help`` for details; ``docs/cli.md`` has a
@@ -205,6 +210,14 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--detector-window", type=int, default=24)
     stream.add_argument("--emit", default="all", choices=["all", "changes"],
                         help="print every tick update or only selection changes")
+    stream.add_argument("--audit", type=Path, default=None,
+                        help="append a JSONL audit trail of selections, drift "
+                             "events and re-selections to this file")
+    stream.add_argument("--trace", type=Path, default=None,
+                        help="append JSONL spans (flush/forward/score timing) "
+                             "to this file")
+    stream.add_argument("--metrics-output", type=Path, default=None,
+                        help="write Prometheus text metrics to this file on exit")
     _add_runtime_args(stream, worker_mode=False)
 
     sharded = sub.add_parser("serve-sharded",
@@ -235,6 +248,35 @@ def build_parser() -> argparse.ArgumentParser:
     sharded.add_argument("--request-timeout", type=float, default=10.0,
                          help="per-shard request timeout in seconds before "
                               "the supervisor restarts a shard")
+    sharded.add_argument("--audit", type=Path, default=None,
+                         help="append a JSONL audit trail of selections, drift "
+                              "events, re-selections and shard restarts to "
+                              "this file")
+    sharded.add_argument("--metrics-output", type=Path, default=None,
+                         help="write Prometheus text metrics (router + every "
+                              "shard) to this file on exit")
+
+    explain = sub.add_parser("explain",
+                             help="explain a stream's selection: vote breakdown, "
+                                  "winner margin, drift trajectory")
+    explain.add_argument("stream", help="stream id to explain")
+    explain.add_argument("--audit", type=Path, default=None,
+                         help="read this recorded audit log instead of "
+                              "querying a running front end")
+    explain.add_argument("--host", default="127.0.0.1",
+                         help="serve-sharded front-end host")
+    explain.add_argument("--port", type=int, default=None,
+                         help="serve-sharded front-end port")
+    explain.add_argument("--json", action="store_true",
+                         help="print the raw explain record as JSON")
+
+    metrics = sub.add_parser("metrics",
+                             help="fetch Prometheus text metrics from a running "
+                                  "serve-sharded front end")
+    metrics.add_argument("--host", default="127.0.0.1",
+                         help="serve-sharded front-end host")
+    metrics.add_argument("--port", type=int, required=True,
+                         help="serve-sharded front-end port")
 
     list_cmd = sub.add_parser("list-selectors", help="show the contents of a selector store")
     list_cmd.add_argument("--store", type=Path, default=Path("selector_store"))
@@ -475,40 +517,91 @@ def _format_stream_stats(stats) -> str:
     return format_table(["counter", "value"], rows)
 
 
+def _setup_obs(args: argparse.Namespace):
+    """Enable the requested observability surfaces (before engine construction).
+
+    Returns ``(audit, tracer, previous_tracer)``; pass them back to
+    :func:`_teardown_obs` when the command finishes.  The metrics registry
+    must be enabled *before* engines/services are built (components bind
+    their counters at construction time, and forked shards inherit the
+    enabled state).
+    """
+    from .. import obs
+
+    audit = tracer = previous_tracer = None
+    if getattr(args, "metrics_output", None) is not None:
+        obs.enable()
+    if getattr(args, "audit", None) is not None:
+        audit = obs.AuditLog(args.audit)
+    if getattr(args, "trace", None) is not None:
+        tracer = obs.Tracer(sink=args.trace)
+        previous_tracer = obs.set_default_tracer(tracer)
+    return audit, tracer, previous_tracer
+
+
+def _teardown_obs(args: argparse.Namespace, audit, tracer, previous_tracer,
+                  metrics_text: Optional[str] = None) -> None:
+    """Flush/close the surfaces opened by :func:`_setup_obs`.
+
+    ``metrics_text`` overrides the default registry rendering (the sharded
+    service concatenates the router's and every shard's sections).
+    """
+    from .. import obs
+
+    if getattr(args, "metrics_output", None) is not None:
+        if metrics_text is None:
+            metrics_text = obs.default_registry().render_prometheus()
+        args.metrics_output.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_output.write_text(metrics_text)
+        print(f"wrote metrics to {args.metrics_output}", file=sys.stderr)
+    if tracer is not None:
+        obs.set_default_tracer(previous_tracer)
+        tracer.close()
+    if audit is not None:
+        audit.close()
+        print(f"wrote {len(audit)} audit events to {args.audit}", file=sys.stderr)
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from ..streaming import parse_tick_line, replay_records
 
     _apply_runtime_args(args)
+    audit, tracer, previous_tracer = _setup_obs(args)
     engine = _make_stream_engine(args)
+    if audit is not None:
+        engine.audit = audit
 
     def emit(update) -> None:
         if args.emit == "changes" and not (update.changed or update.drift_triggered):
             return
         print(json.dumps(update.as_dict()), flush=True)
 
-    if args.series_files:
-        try:
-            records = [load_series_file(path) for path in args.series_files]
-        except (OSError, ValueError) as error:
-            raise SystemExit(str(error) or type(error).__name__)
-        for updates in replay_records(engine, records, chunk=args.chunk):
-            for update in updates.values():
-                emit(update)
-    else:
-        for line in sys.stdin:
-            if not line.strip():
-                continue
+    try:
+        if args.series_files:
             try:
-                stream_id, values = parse_tick_line(line)
-            except ValueError as error:
-                print(json.dumps({"error": str(error)}), flush=True)
-                continue
-            emit(engine.push(stream_id, values))
-    print(_format_stream_stats(engine.stats), file=sys.stderr)
-    return 0
+                records = [load_series_file(path) for path in args.series_files]
+            except (OSError, ValueError) as error:
+                raise SystemExit(str(error) or type(error).__name__)
+            for updates in replay_records(engine, records, chunk=args.chunk):
+                for update in updates.values():
+                    emit(update)
+        else:
+            for line in sys.stdin:
+                if not line.strip():
+                    continue
+                try:
+                    stream_id, values = parse_tick_line(line)
+                except ValueError as error:
+                    print(json.dumps({"error": str(error)}), flush=True)
+                    continue
+                emit(engine.push(stream_id, values))
+        print(_format_stream_stats(engine.stats), file=sys.stderr)
+        return 0
+    finally:
+        _teardown_obs(args, audit, tracer, previous_tracer)
 
 
-def _make_sharded_service(args: argparse.Namespace) -> "ShardedService":
+def _make_sharded_service(args: argparse.Namespace, audit=None) -> "ShardedService":
     from ..detectors.base import DEFAULT_MODEL_NAMES
     from ..service import ServiceConfig, ShardedService, make_engine_factory
     from ..streaming import DriftConfig, StreamingConfig
@@ -523,14 +616,16 @@ def _make_sharded_service(args: argparse.Namespace) -> "ShardedService":
     )
     factory = make_engine_factory(selector, DEFAULT_MODEL_NAMES, config)
     return ShardedService(factory, ServiceConfig(
-        n_shards=args.shards, request_timeout_s=args.request_timeout))
+        n_shards=args.shards, request_timeout_s=args.request_timeout),
+        audit=audit)
 
 
 def _cmd_serve_sharded(args: argparse.Namespace) -> int:
     if args.port is None and not args.series_files:
         raise SystemExit("serve-sharded needs series files to replay, "
                          "or --port to listen for requests")
-    service = _make_sharded_service(args)
+    audit, tracer, previous_tracer = _setup_obs(args)
+    service = _make_sharded_service(args, audit=audit)
     try:
         if args.port is not None:
             import asyncio
@@ -572,7 +667,61 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
         print(format_table(["counter", "value"], rows), file=sys.stderr)
         return 0
     finally:
+        _teardown_obs(args, audit, tracer, previous_tracer,
+                      metrics_text=(service.metrics_text()
+                                    if args.metrics_output is not None else None))
         service.close()
+
+
+def _frontend_request(host: str, port: int, op: str, **fields: object):
+    """One length-prefixed JSON request to a running serve-sharded front end."""
+    import socket
+
+    from ..service.transport import encode_message, recv_message
+
+    try:
+        with socket.create_connection((host, port), timeout=30.0) as sock:
+            sock.sendall(encode_message({"op": op, **fields}))
+            response = recv_message(sock)
+    except OSError as error:
+        raise SystemExit(f"cannot reach {host}:{port}: {error}")
+    if response is None:
+        raise SystemExit("connection closed by the server")
+    if isinstance(response, dict) and "error" in response:
+        raise SystemExit(f"server error: {response['error']}")
+    return response
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from ..obs import AuditLog, explain_from_audit, format_explain
+
+    if args.audit is not None:
+        try:
+            events = AuditLog.read(args.audit)
+        except OSError as error:
+            raise SystemExit(str(error))
+        try:
+            info = explain_from_audit(events, args.stream)
+        except ValueError as error:
+            raise SystemExit(str(error))
+    elif args.port is not None:
+        info = _frontend_request(args.host, args.port, "explain",
+                                 stream=args.stream).get("explain")
+        if info is None:
+            raise SystemExit(f"unknown stream: {args.stream}")
+    else:
+        raise SystemExit("explain needs --audit FILE or --port PORT")
+    if args.json:
+        print(json.dumps(info))
+    else:
+        print(format_explain(info))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    text = str(_frontend_request(args.host, args.port, "metrics").get("metrics", ""))
+    sys.stdout.write(text if text.endswith("\n") or not text else text + "\n")
+    return 0
 
 
 def _cmd_list_selectors(args: argparse.Namespace) -> int:
@@ -598,6 +747,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "stream": _cmd_stream,
     "serve-sharded": _cmd_serve_sharded,
+    "explain": _cmd_explain,
+    "metrics": _cmd_metrics,
     "list-selectors": _cmd_list_selectors,
 }
 

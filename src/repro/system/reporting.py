@@ -5,20 +5,30 @@ format them consistently (fixed-width ASCII and Markdown)."""
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def _render_cell(value: object, float_format: str) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
+        return float_format.format(value)
+    return str(value)
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
                  float_format: str = "{:.4f}") -> str:
-    """Render a fixed-width ASCII table."""
-    def render(value: object) -> str:
-        if isinstance(value, float):
-            return float_format.format(value)
-        return str(value)
+    """Render a fixed-width ASCII table.
 
-    str_rows = [[render(v) for v in row] for row in rows]
+    NaN floats render as ``n/a``; rows longer than the header are padded
+    with unnamed columns rather than raising.
+    """
+    str_rows = [[_render_cell(v, float_format) for v in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in str_rows:
+        while len(widths) < len(row):  # ragged row: grow unnamed columns
+            widths.append(0)
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
 
@@ -33,31 +43,31 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
 
 def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
                           float_format: str = "{:.4f}") -> str:
-    """Render a GitHub-flavoured Markdown table."""
-    def render(value: object) -> str:
-        if isinstance(value, float):
-            return float_format.format(value)
-        return str(value)
-
+    """Render a GitHub-flavoured Markdown table (NaN floats as ``n/a``)."""
     lines = ["| " + " | ".join(headers) + " |",
              "|" + "|".join("---" for _ in headers) + "|"]
     for row in rows:
-        lines.append("| " + " | ".join(render(v) for v in row) + " |")
+        lines.append("| " + " | ".join(_render_cell(v, float_format) for v in row) + " |")
     return "\n".join(lines)
 
 
 def format_cache_stats(stats, throughput: Optional[Dict[str, float]] = None) -> str:
     """Render serving-cache counters (and optional series/sec figures).
 
-    ``stats`` is a :class:`repro.serving.CacheStats`; ``throughput`` maps a
-    label (e.g. ``"cold batch"``) to a series-per-second rate.  Used by the
-    ``batch-select``/``serve`` CLI commands and the serving benchmark.
+    ``stats`` is a :class:`repro.serving.CacheStats` (or ``None`` when the
+    cache is disabled); ``throughput`` maps a label (e.g. ``"cold batch"``)
+    to a series-per-second rate.  Used by the ``batch-select``/``serve``
+    CLI commands and the serving benchmark.  A hit rate with zero lookups
+    renders as ``n/a`` instead of a misleading ``0.0000``.
     """
+    if stats is None:
+        return format_table(["counter", "value"], [["cache", "disabled"]])
+    hit_rate: object = stats.hit_rate if stats.lookups else "n/a"
     rows: List[List[object]] = [
         ["cache lookups", stats.lookups],
         ["cache hits", stats.hits],
         ["cache misses", stats.misses],
-        ["hit rate", stats.hit_rate],
+        ["hit rate", hit_rate],
         ["evictions", stats.evictions],
         ["entries", f"{stats.size}/{stats.capacity}"],
     ]

@@ -133,9 +133,27 @@ class TestFlakyTransport:
         faults = sum(i.dropped + i.duplicated + i.delayed
                      for i in injectors.values())
         assert faults > 0  # the run actually saw faults
+        # pings are state-free: roll the dice until both fault kinds have
+        # actually fired (deterministic seeds, converges in a few rounds)
+        for _ in range(200):
+            if sum(i.duplicated for i in injectors.values()) > 0 and \
+                    sum(i.dropped for i in injectors.values()) > 0:
+                break
+            for shard_id in service.shard_ids:
+                service._request(shard_id, "ping")
+        duplicated = sum(i.duplicated for i in injectors.values())
+        dropped = sum(i.dropped for i in injectors.values())
+        assert duplicated > 0 and dropped > 0
         # dropped requests were retransmitted, duplicates deduplicated by
         # seq — nothing double-applied, nothing lost
         assert service.supervisor.restarts == 0
+        stats = service.stats()
+        # every delivered duplicate was answered from the exactly-once
+        # response cache (the stats requests themselves roll the dice too,
+        # so the count may exceed the snapshot taken above)
+        assert stats["totals"]["duplicates_suppressed"] >= duplicated
+        # every injected drop cost the client one same-seq retransmission
+        assert stats["transport_retransmits"] >= dropped
         _assert_matches_reference(service, streams, chaos_reference, final_updates)
 
     def test_same_seed_injects_the_same_faults(self, make_chaos_service,

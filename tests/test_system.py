@@ -41,7 +41,7 @@ class TestReporting:
     def test_per_dataset_table_handles_missing_entries(self):
         results = {"A": {"ECG": 0.5}}
         table = per_dataset_table(results, datasets=["ECG", "SMD"], include_average=False)
-        assert "nan" in table
+        assert "n/a" in table  # missing scores render legibly, not as "nan"
 
 
 class TestAnomalyDetectionRunner:
