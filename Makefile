@@ -10,6 +10,7 @@
 #   make bench       - every paper-table benchmark (slow: trains many selectors)
 #   make stream-demo - run the streaming quickstart example end to end
 #   make obs-demo    - run the observability walkthrough example end to end
+#   make distill-demo - run the distill + quantize + refresh example end to end
 #   make docs-check  - docstring + documentation-link checks
 
 PYTHON ?= python
@@ -19,7 +20,7 @@ PYTHONPATH := src
 #: recovery loop must fail the build, not wedge it
 CHAOS_TIMEOUT ?= 600
 
-.PHONY: test chaos bench-smoke bench stream-demo obs-demo docs-check
+.PHONY: test chaos bench-smoke bench stream-demo obs-demo distill-demo docs-check
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -32,6 +33,7 @@ bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_detector_kernels.py --smoke
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_streaming_throughput.py --smoke
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_service_scalability.py --smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_serving_throughput.py --smoke
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q benchmarks/
@@ -41,6 +43,9 @@ stream-demo:
 
 obs-demo:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/observability_demo.py
+
+distill-demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/distill_demo.py
 
 docs-check:
 	$(PYTHON) tools/docs_check.py

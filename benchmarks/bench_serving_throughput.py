@@ -12,16 +12,40 @@ benchmark measures all three regimes on the same query set:
   cache (vectorised windowing + one forward pass),
 * **warm batched**    — the same batch again, now answered from the cache.
 
+A second benchmark pins the **selector tiers** of ``repro.distill``: the
+teacher is distilled into a float student and a gated int8 student, and
+each tier's forward throughput and selection agreement are measured on
+the same query windows.
+
 Acceptance (checked by assertions):
 
 * batched selections are **bitwise identical** to sequential ones
-  (same selected model, same aggregated vote vector), and
-* warm-cache batched serving is **>= 5x** faster than cold sequential.
+  (same selected model, same aggregated vote vector),
+* warm-cache batched serving is **>= 5x** faster than cold sequential,
+* the int8 student's forward throughput is **>= 3x** the teacher's while
+  its per-window selections agree with the teacher on **>= 97 %** of
+  held-out query windows, and
+* the teacher's float64 probabilities are **bitwise identical** before
+  and after distillation (the fast path never perturbs the slow path).
+
+Run modes:
+
+* ``pytest benchmarks/bench_serving_throughput.py`` — full scale,
+  asserts everything above.
+* ``python benchmarks/bench_serving_throughput.py --smoke`` — CI gate at
+  reduced scale: asserts the agreement/bitwise contracts absolutely,
+  then compares the measured tier speedups against the
+  ``selector_tiers`` section of ``benchmarks/baselines.json`` and fails
+  on a > 20 % regression.  ``--record`` rewrites that section.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -29,10 +53,14 @@ import pytest
 from repro.core import TrainerConfig
 from repro.data import build_selector_dataset, generate_series
 from repro.data.records import DATASET_NAMES
-from repro.eval import predict_for_series
+from repro.data.windows import extract_windows
+from repro.distill import DistillConfig, distill_student, quantize_student, selection_agreement
+from repro.eval import aggregate_window_probas, predict_for_series
 from repro.selectors import make_selector
-from repro.serving import SelectionService, ServingConfig
+from repro.serving import SelectionService, ServingConfig, configure_transform_cache
 from repro.system.reporting import format_cache_stats, format_table
+
+BASELINES_PATH = Path(__file__).resolve().parent / "baselines.json"
 
 #: Benchmark scale (small enough for CPU laptops; raise for stress runs).
 SERVING_SCALE = {
@@ -45,8 +73,26 @@ SERVING_SCALE = {
     "seed": 0,
 }
 
+#: Selector-tier benchmark scale (transfer set + distillation budget).
+TIER_SCALE = {
+    "n_transfer_series": 24,
+    "transfer_length": 1600,
+    "transfer_stride": 48,
+    "distill_epochs": 30,
+    "features": "stats",
+    "timing_repeats": 3,
+}
+
 #: The acceptance threshold: warm cache must beat cold sequential by this.
 MIN_WARM_SPEEDUP = 5.0
+
+#: Tier acceptance: int8 student forward throughput vs the teacher ...
+MIN_INT8_SPEEDUP = 3.0
+#: ... at at least this per-window selection agreement with the teacher.
+MIN_TIER_AGREEMENT = 0.97
+
+#: smoke gate: tier speedups may regress at most 20 % below the baselines
+REGRESSION_TOLERANCE = 0.8
 
 
 def _build_selector(scale):
@@ -148,8 +194,184 @@ def test_serving_throughput(benchmark):
     )
 
 
-if __name__ == "__main__":  # pragma: no cover - manual smoke entry point
+# --------------------------------------------------------------------------- #
+# selector tiers: teacher vs distilled student vs int8 student
+# --------------------------------------------------------------------------- #
+def _transfer_windows(scale, tier_scale):
+    """Fresh series from the training families, windowed as a transfer set."""
+    families = DATASET_NAMES[: scale["n_train_series"]]
+    records = [
+        generate_series(families[i % len(families)], i, tier_scale["transfer_length"],
+                        seed=scale["seed"] + 3)
+        for i in range(tier_scale["n_transfer_series"])
+    ]
+    return np.vstack([
+        extract_windows(r.series, scale["window"], stride=tier_scale["transfer_stride"])
+        for r in records
+    ])
+
+
+def _timed_forward(selector, windows, repeats):
+    """Best-of-``repeats`` cold forward pass (transform cache reset each time)."""
+    best = np.inf
+    proba = None
+    for _ in range(repeats):
+        configure_transform_cache(None)  # drop memoised transforms: cold path
+        start = time.perf_counter()
+        proba = selector.predict_proba(windows)
+        best = min(best, time.perf_counter() - start)
+    return proba, best
+
+
+def run_selector_tier_benchmark(scale=None, tier_scale=None, verbose=True):
+    """Distill the benchmark teacher and race the three serving tiers."""
+    scale = dict(SERVING_SCALE, **(scale or {}))
+    tier_scale = dict(TIER_SCALE, **(tier_scale or {}))
+    window = scale["window"]
+
+    teacher, detector_names = _build_selector(scale)
+    records = _query_records(scale)
+    query_windows = np.vstack([extract_windows(r.series, window) for r in records])
+    per_series = [len(extract_windows(r.series, window)) for r in records]
+
+    # The float64 teacher path must be bitwise untouched by distillation.
+    teacher_before = teacher.predict_proba(query_windows)
+
+    config = DistillConfig(epochs=tier_scale["distill_epochs"],
+                           features=tier_scale["features"],
+                           seed=scale["seed"])
+    transfer = _transfer_windows(scale, tier_scale)
+    student, report = distill_student(teacher, transfer, detector_names, config)
+    quantized, gate = quantize_student(student, transfer,
+                                       min_agreement=MIN_TIER_AGREEMENT)
+
+    repeats = tier_scale["timing_repeats"]
+    tiers = {"teacher": teacher, "student": student, "student-int8": quantized}
+    probas, times = {}, {}
+    for tier, selector in tiers.items():
+        probas[tier], times[tier] = _timed_forward(selector, query_windows, repeats)
+
+    assert np.array_equal(probas["teacher"], teacher_before), \
+        "distillation perturbed the float64 teacher probabilities"
+
+    n_windows = len(query_windows)
+    out = {
+        "n_windows": n_windows,
+        "report": report,
+        "gate": gate,
+        "throughput": {t: n_windows / dt for t, dt in times.items()},
+        "speedup": {t: times["teacher"] / dt for t, dt in times.items()},
+        "window_agreement": {
+            t: selection_agreement(probas[t], probas["teacher"]) for t in tiers
+        },
+    }
+
+    # per-series selections through the shared vote aggregation
+    series_agree = {t: 0 for t in tiers}
+    offset = 0
+    for count in per_series:
+        rows = slice(offset, offset + count)
+        picks = {t: aggregate_window_probas(probas[t][rows], "vote")[0] for t in tiers}
+        for t in tiers:
+            series_agree[t] += int(picks[t] == picks["teacher"])
+        offset += count
+    out["series_agreement"] = {t: series_agree[t] / len(per_series) for t in tiers}
+
+    if verbose:
+        rows = [[t, f"{out['throughput'][t]:.0f}", f"{out['speedup'][t]:.2f}x",
+                 f"{out['window_agreement'][t]:.4f}", f"{out['series_agreement'][t]:.4f}"]
+                for t in tiers]
+        print(format_table(
+            ["tier", "windows/sec", "speedup", "window agreement", "series agreement"],
+            rows))
+        print(f"teacher params: {report.teacher_parameters}  "
+              f"student params: {report.student_parameters}  "
+              f"int8 gate agreement: {gate['agreement']:.4f} "
+              f"(max |dproba| {gate['max_proba_diff']:.4f})")
+    return out
+
+
+def _assert_tier_contracts(out):
+    """The scale-independent tier contracts (shared by pytest and smoke)."""
+    assert out["speedup"]["student-int8"] >= MIN_INT8_SPEEDUP, (
+        f"int8 student only {out['speedup']['student-int8']:.2f}x faster than the "
+        f"teacher (need >= {MIN_INT8_SPEEDUP}x)")
+    for tier in ("student", "student-int8"):
+        agreement = out["window_agreement"][tier]
+        assert agreement >= MIN_TIER_AGREEMENT, (
+            f"{tier} agrees with the teacher on only {agreement:.4f} of query "
+            f"windows (need >= {MIN_TIER_AGREEMENT})")
+
+
+@pytest.mark.benchmark(group="serving-throughput")
+def test_selector_tier_throughput(benchmark):
+    """Int8 student: >= 3x teacher throughput at >= 0.97 window agreement."""
+    out = benchmark.pedantic(run_selector_tier_benchmark, rounds=1, iterations=1)
+    _assert_tier_contracts(out)
+
+
+# --------------------------------------------------------------------------- #
+# smoke mode (CI gate against recorded baselines)
+# --------------------------------------------------------------------------- #
+def run_smoke(record: bool = False) -> int:
+    out = run_selector_tier_benchmark(
+        scale={"n_query_series": 16, "epochs": 1},
+        tier_scale={"n_transfer_series": 12, "distill_epochs": 15,
+                    "timing_repeats": 2},
+    )
+    _assert_tier_contracts(out)  # absolute contracts hold at any scale
+    measured = {
+        "int8_speedup": round(out["speedup"]["student-int8"], 3),
+        "student_speedup": round(out["speedup"]["student"], 3),
+    }
+    print(f"smoke measurements: {json.dumps(measured)}")
+
+    if record:
+        # merge into the shared baselines file — other benchmarks keep
+        # their own sections (e.g. smoke, service_smoke)
+        baselines_doc = json.loads(BASELINES_PATH.read_text()) \
+            if BASELINES_PATH.exists() else {}
+        baselines_doc["selector_tiers"] = {
+            "description": ("bench_serving_throughput --smoke baselines "
+                            "(tier speedups; regenerate with --record)"),
+            **measured,
+        }
+        BASELINES_PATH.write_text(json.dumps(baselines_doc, indent=2) + "\n")
+        print(f"recorded baselines -> {BASELINES_PATH}")
+        return 0
+
+    baselines = json.loads(BASELINES_PATH.read_text())["selector_tiers"]
+    failures = []
+    for key, baseline in measured.items():
+        floor = REGRESSION_TOLERANCE * baselines[key]
+        if measured[key] < floor:
+            failures.append(f"{key}: measured {measured[key]:.2f} < "
+                            f"{floor:.2f} (80% of baseline {baselines[key]:.2f})")
+    if failures:
+        print("SMOKE REGRESSION:\n  " + "\n  ".join(failures))
+        return 1
+    print("smoke: OK (within 20% of recorded baselines)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced-scale tier run gated against baselines.json")
+    parser.add_argument("--record", action="store_true",
+                        help="with --smoke: rewrite the selector_tiers baselines")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(record=args.record)
     out = run_serving_benchmark()
     for label, rate in out["rates"].items():
         print(f"{label:>16}: {rate:10.1f} series/sec")
     print(f"warm speedup: {out['warm_speedup']:.1f}x  (threshold {MIN_WARM_SPEEDUP}x)")
+    tiers = run_selector_tier_benchmark()
+    _assert_tier_contracts(tiers)
+    print("selector tiers: all acceptance assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

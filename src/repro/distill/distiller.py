@@ -1,0 +1,252 @@
+"""Teacher→student distillation and gated int8 quantization.
+
+Distillation reuses the PISL machinery end to end: the teacher's
+``predict_proba`` output *is* the per-window "performance" matrix, so
+:func:`repro.core.pisl.performance_to_soft_labels` sharpens it into soft
+targets and :class:`repro.core.trainer.SelectorTrainer` runs the usual
+mixed hard/soft objective — no new training loop.
+
+Quantization is post-training: activation scales are calibrated on a
+held-out slice of the distillation windows, and the resulting int8 model
+must pass an explicit dequantize-compare gate (per-window selection
+agreement against its own float student) before it is handed back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import PISLConfig, TrainerConfig
+from ..data.windows import SelectorDataset
+from ..nn.quant import calibrate_activation_scale
+from ..selectors.base import Selector
+from ..selectors.student import Int8StudentSelector, StudentSelector
+
+
+@dataclass(frozen=True)
+class DistillConfig:
+    """Everything that shapes a distillation run (deterministic per seed)."""
+
+    epochs: int = 25
+    batch_size: int = 64
+    lr: float = 1e-2
+    #: soft-label weight of the PISL objective (1.0 = pure soft labels)
+    alpha: float = 0.9
+    #: temperature sharpening the teacher's probabilities into soft targets
+    t_soft: float = 0.5
+    hidden: int = 64
+    features: str = "stats"
+    n_kernels: int = 96
+    #: fraction of windows held out for activation calibration + the gate
+    calibration_fraction: float = 0.25
+    #: minimum quantized-vs-float selection agreement on the calibration set
+    min_agreement: float = 0.97
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class DistillReport:
+    """What a distillation run produced, for logs and the CLI."""
+
+    n_windows: int
+    n_calibration: int
+    teacher_parameters: int
+    student_parameters: int
+    #: student-vs-teacher per-window selection agreement on calibration windows
+    student_agreement: float
+    #: int8-vs-float-student agreement on calibration windows (None if not quantized)
+    quantized_agreement: Optional[float] = None
+    #: max |p_float - p_int8| over calibration windows (None if not quantized)
+    quantized_max_proba_diff: Optional[float] = None
+
+
+def selection_agreement(proba_a: np.ndarray, proba_b: np.ndarray) -> float:
+    """Fraction of windows on which two probability matrices pick the same model."""
+    a = np.asarray(proba_a)
+    b = np.asarray(proba_b)
+    if a.shape != b.shape:
+        raise ValueError(f"probability shapes differ: {a.shape} vs {b.shape}")
+    if len(a) == 0:
+        return 1.0
+    return float(np.mean(a.argmax(axis=1) == b.argmax(axis=1)))
+
+
+def teacher_soft_dataset(teacher: Selector, windows: np.ndarray,
+                         detector_names: Sequence[str]) -> SelectorDataset:
+    """Wrap teacher predictions as a :class:`SelectorDataset`.
+
+    The teacher's probability matrix plays the role of the performance
+    matrix: PISL's temperature softmax then sharpens it into soft labels,
+    and its argmax provides the hard labels.
+    """
+    windows = np.asarray(windows, dtype=np.float64)
+    proba = teacher.predict_proba(windows)
+    return SelectorDataset(
+        windows=windows,
+        hard_labels=proba.argmax(axis=1),
+        performances=proba,
+        metadata_texts=[""] * len(windows),
+        series_ids=np.zeros(len(windows), dtype=int),
+        series_names=[],
+        series_datasets=[],
+        detector_names=list(detector_names),
+        window_size=windows.shape[1],
+    )
+
+
+def calibration_split(n: int, fraction: float, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic ``(train_idx, calib_idx)`` permutation split.
+
+    The same ``(n, fraction, seed)`` always yields the same split, so the
+    CLI can re-derive the calibration slice a distillation run used.
+    """
+    n_calib = max(1, int(round(n * fraction))) if fraction > 0 else 0
+    n_calib = min(n_calib, n - 1) if n > 1 else 0
+    order = np.random.default_rng(seed).permutation(n)
+    return order[n_calib:], order[:n_calib]
+
+
+def distill_student(teacher: Selector, windows: np.ndarray,
+                    detector_names: Sequence[str],
+                    config: Optional[DistillConfig] = None,
+                    ) -> Tuple[StudentSelector, DistillReport]:
+    """Distill ``teacher`` into a float :class:`StudentSelector`.
+
+    ``windows`` is the transfer set (already z-normalised selector windows,
+    e.g. from :func:`repro.data.windows.extract_windows`).  A deterministic
+    ``calibration_fraction`` slice is held out from training; it calibrates
+    the encoder normalisation and measures student↔teacher agreement.
+    """
+    config = config or DistillConfig()
+    windows = np.asarray(windows, dtype=np.float64)
+    if windows.ndim != 2 or len(windows) < 2:
+        raise ValueError(f"expected a (n >= 2, window) transfer matrix, got shape {windows.shape}")
+
+    train_idx, calib_idx = calibration_split(len(windows), config.calibration_fraction, config.seed)
+    train_windows = windows[train_idx]
+    calib_windows = windows[calib_idx] if len(calib_idx) else windows[train_idx[: min(64, len(train_idx))]]
+
+    dataset = teacher_soft_dataset(teacher, train_windows, detector_names)
+    student = StudentSelector(
+        window=windows.shape[1],
+        n_classes=len(detector_names),
+        seed=config.seed,
+        hidden=config.hidden,
+        features=config.features,
+        n_kernels=config.n_kernels,
+    )
+    student.build(window=windows.shape[1], n_classes=len(detector_names))
+    student.encoder.calibrate(train_windows)
+
+    trainer_config = TrainerConfig(
+        epochs=config.epochs,
+        batch_size=config.batch_size,
+        lr=config.lr,
+        seed=config.seed,
+        val_fraction=0.0,
+        pisl=PISLConfig(enabled=True, alpha=config.alpha, t_soft=config.t_soft),
+    )
+    student.fit(dataset, config=trainer_config)
+
+    agreement = selection_agreement(
+        student.predict_proba(calib_windows), teacher.predict_proba(calib_windows)
+    )
+    report = DistillReport(
+        n_windows=len(train_windows),
+        n_calibration=len(calib_windows),
+        teacher_parameters=_parameter_count(teacher),
+        student_parameters=_parameter_count(student),
+        student_agreement=agreement,
+    )
+    return student, report
+
+
+def _parameter_count(selector: Selector) -> int:
+    try:
+        return int(sum(p.size for p in selector.parameters()))
+    except (AttributeError, RuntimeError):
+        return 0
+
+
+def quantize_student(student: StudentSelector, calibration_windows: np.ndarray,
+                     min_agreement: Optional[float] = 0.97,
+                     ) -> Tuple[Int8StudentSelector, dict]:
+    """Post-training int8 quantization with a dequantize-compare gate.
+
+    Activation scales are calibrated per tensor on ``calibration_windows``
+    (the fc1 input features and the post-ReLU hidden layer), weights are
+    quantized symmetrically per channel, and the quantized model's
+    selections are compared against the float student on the same windows.
+    Raises :class:`ValueError` when agreement falls below ``min_agreement``
+    (pass ``None`` to skip the gate).
+    """
+    calibration_windows = np.asarray(calibration_windows, dtype=np.float64)
+    if calibration_windows.ndim != 2 or len(calibration_windows) == 0:
+        raise ValueError(f"expected a non-empty (n, window) calibration matrix, "
+                         f"got shape {calibration_windows.shape}")
+    student.build()
+    student.train_mode(False)
+    encoder = student.encoder
+
+    feats = encoder.normalized_features(calibration_windows)
+    act_scale_fc1 = calibrate_activation_scale(feats)
+    hidden = encoder.hidden_activations(calibration_windows)
+    act_scale_clf = calibrate_activation_scale(hidden)
+
+    quantized = Int8StudentSelector(
+        window=student.window,
+        n_classes=student.n_classes,
+        seed=student.seed,
+        hidden=student.arch_kwargs.get("hidden", 64),
+        features=student.arch_kwargs.get("features", "stats"),
+        n_kernels=student.arch_kwargs.get("n_kernels", 96),
+    )
+    quantized.build()
+    quantized.encoder.update_buffer("feat_mean", encoder.feat_mean.copy())
+    quantized.encoder.update_buffer("feat_scale", encoder.feat_scale.copy())
+    quantized.encoder.fc1.load_weights(encoder.fc1.weight.data, encoder.fc1.bias.data, act_scale_fc1)
+    quantized.classifier.load_weights(student.classifier.weight.data,
+                                      student.classifier.bias.data, act_scale_clf)
+
+    proba_float = student.predict_proba(calibration_windows)
+    proba_int8 = quantized.predict_proba(calibration_windows)
+    agreement = selection_agreement(proba_float, proba_int8)
+    max_diff = float(np.abs(proba_float - proba_int8).max())
+    if min_agreement is not None and agreement < min_agreement:
+        raise ValueError(
+            f"quantized student agrees with the float student on only "
+            f"{agreement:.4f} of {len(calibration_windows)} calibration windows "
+            f"(gate: {min_agreement}); max |Δproba| = {max_diff:.4f}"
+        )
+    gate = {
+        "agreement": agreement,
+        "max_proba_diff": max_diff,
+        "act_scale_fc1": act_scale_fc1,
+        "act_scale_classifier": act_scale_clf,
+        "n_calibration": len(calibration_windows),
+    }
+    return quantized, gate
+
+
+def sync_quantized(student: StudentSelector, quantized: Int8StudentSelector) -> None:
+    """Re-quantize the int8 twin from the (fine-tuned) float student.
+
+    Activation scales are kept — they were calibrated on representative
+    traffic and bounded fine-tunes barely move the activation range — so a
+    refresh only re-quantizes the weight payload.
+    """
+    student.build()
+    quantized.build()
+    quantized.encoder.update_buffer("feat_mean", student.encoder.feat_mean.copy())
+    quantized.encoder.update_buffer("feat_scale", student.encoder.feat_scale.copy())
+    quantized.encoder.fc1.load_weights(
+        student.encoder.fc1.weight.data, student.encoder.fc1.bias.data,
+        float(quantized.encoder.fc1.act_scale[0]),
+    )
+    quantized.classifier.load_weights(
+        student.classifier.weight.data, student.classifier.bias.data,
+        float(quantized.classifier.act_scale[0]),
+    )

@@ -40,6 +40,11 @@ from .losses import (
     soft_cross_entropy,
 )
 from .optim import SGD, Adam, AdamW, CosineAnnealingLR, LRScheduler, Optimizer, StepLR
+from .quant import (
+    QuantizedLinear,
+    calibrate_activation_scale,
+    quantize_weight_per_channel,
+)
 from .serialization import load_state, save_state
 from . import functional
 from . import init
@@ -54,5 +59,6 @@ __all__ = [
     "CrossEntropyLoss", "InfoNCELoss", "MSELoss", "SoftCrossEntropyLoss",
     "cross_entropy", "info_nce", "mse_loss", "soft_cross_entropy",
     "SGD", "Adam", "AdamW", "CosineAnnealingLR", "LRScheduler", "Optimizer", "StepLR",
+    "QuantizedLinear", "calibrate_activation_scale", "quantize_weight_per_channel",
     "load_state", "save_state", "functional", "init",
 ]

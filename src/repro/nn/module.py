@@ -42,16 +42,28 @@ class Module:
         object.__setattr__(self, name, value)
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
-        """Register a non-trainable array that is part of the module state."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        """Register a non-trainable array that is part of the module state.
+
+        The value's dtype is preserved: quantized modules register ``int8``
+        weight buffers and per-channel ``float64`` scales side by side.
+        Python scalars/lists default to float64 (the substrate's default).
+        """
+        self._buffers[name] = self._coerce_buffer(value)
         object.__setattr__(self, name, self._buffers[name])
 
     def update_buffer(self, name: str, value: np.ndarray) -> None:
         """Overwrite a previously registered buffer in place of the registry."""
         if name not in self._buffers:
             raise KeyError(f"buffer {name!r} is not registered")
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = self._coerce_buffer(value)
         object.__setattr__(self, name, self._buffers[name])
+
+    @staticmethod
+    def _coerce_buffer(value) -> np.ndarray:
+        """Array-ify a buffer value, keeping ndarray dtypes as-is."""
+        if isinstance(value, np.ndarray):
+            return value
+        return np.asarray(value, dtype=np.float64)
 
     # ------------------------------------------------------------------ #
     # traversal
@@ -131,7 +143,9 @@ class Module:
                     raise ValueError(
                         f"shape mismatch for {key!r}: model {params[key].shape}, state {value.shape}"
                     )
-                params[key].data = np.asarray(value, dtype=np.float64).copy()
+                # dtype is preserved: a float32 checkpoint loads as float32,
+                # a float64 one as float64 (no silent upcast on load)
+                params[key].data = np.asarray(value).copy()
 
     def _walk_buffers(self, prefix: str = ""):
         for name in self._buffers:

@@ -1,0 +1,152 @@
+"""Int8 quantized inference kernels for the serving fast path.
+
+Quantization scheme (the production-standard symmetric recipe):
+
+* **weights** — symmetric per-channel: each output row ``c`` of a weight
+  matrix gets its own scale ``s_c = max|W_c| / 127`` and is stored as an
+  ``int8`` buffer ``q_c = round(W_c / s_c)``,
+* **activations** — symmetric per-tensor: one scale calibrated offline
+  from held-out windows (:func:`calibrate_activation_scale`), so the
+  quantization of a row never depends on which batch it arrived in —
+  quantized outputs are batch-composition independent by construction.
+
+The integer accumulation runs as a float32 GEMM: sums of int8×int8
+products are exactly representable in float32 while
+``in_features * 127 * 127 < 2**24``, which buys BLAS speed with bit-exact
+integer semantics.  Wider layers fall back to an ``int32`` matmul (slower
+but exact for any width that fits 31 bits).
+
+:class:`QuantizedLinear` is buffers-only (no :class:`Parameter`): it
+cannot be trained, round-trips through :mod:`repro.nn.serialization` with
+its ``int8`` payload intact, and is built either directly (then filled by
+``load_state``) or from a trained float layer via
+:meth:`QuantizedLinear.from_linear`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple, Union
+
+import numpy as np
+
+from .module import Module
+from .tensor import Tensor
+
+#: symmetric int8 uses the levels [-127, 127] (the -128 code is unused so
+#: that negation stays exact)
+INT8_LEVELS = 127
+
+#: float32 holds integers exactly up to 2**24; accumulating ``in_features``
+#: products bounded by 127*127 stays exact strictly below this
+_EXACT_F32_ACC_LIMIT = 2 ** 24
+
+
+def quantize_weight_per_channel(weight: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-channel int8 quantization of a ``(out, in)`` matrix.
+
+    Returns ``(q, scale)`` with ``q`` int8 and ``scale`` float64 of shape
+    ``(out,)``; all-zero rows get scale 1.0 so dequantization is always
+    well defined.  The per-element round-trip error is bounded by
+    ``scale[c] / 2`` (round-half-to-even on ``W / scale``).
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2:
+        raise ValueError(f"expected a 2-D weight matrix, got shape {weight.shape}")
+    absmax = np.abs(weight).max(axis=1)
+    scale = np.where(absmax > 0.0, absmax / INT8_LEVELS, 1.0)
+    q = np.clip(np.rint(weight / scale[:, None]), -INT8_LEVELS, INT8_LEVELS)
+    return q.astype(np.int8), scale
+
+
+def calibrate_activation_scale(samples: Union[np.ndarray, Iterable[np.ndarray]]) -> float:
+    """Per-tensor symmetric activation scale from calibration activations.
+
+    ``samples`` is one activation matrix or an iterable of them (held-out
+    calibration windows pushed through the float model).  Deterministic:
+    the scale is ``max|x| / 127`` over everything seen, or 1.0 when the
+    calibration set is empty/all-zero.
+    """
+    if isinstance(samples, np.ndarray):
+        samples = (samples,)
+    absmax = 0.0
+    for sample in samples:
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.size:
+            absmax = max(absmax, float(np.abs(sample).max()))
+    return absmax / INT8_LEVELS if absmax > 0.0 else 1.0
+
+
+def quantize_activations(x: np.ndarray, scale: float) -> np.ndarray:
+    """Clip-and-round activations to integer levels (kept in float64)."""
+    return np.clip(np.rint(x / scale), -INT8_LEVELS, INT8_LEVELS)
+
+
+class QuantizedLinear(Module):
+    """Int8 inference-only replacement for :class:`repro.nn.Linear`.
+
+    State is four buffers — ``weight_q`` (int8, per-channel symmetric),
+    ``weight_scale`` (float64 per channel), ``act_scale`` (float64 scalar,
+    calibrated per tensor) and ``bias`` (float64) — so serialization and
+    the selector store round-trip the quantized payload without touching
+    the float path.
+    """
+
+    def __init__(self, in_features: int, out_features: int) -> None:
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.register_buffer("weight_q", np.zeros((out_features, in_features), dtype=np.int8))
+        self.register_buffer("weight_scale", np.ones(out_features, dtype=np.float64))
+        self.register_buffer("act_scale", np.ones(1, dtype=np.float64))
+        self.register_buffer("bias", np.zeros(out_features, dtype=np.float64))
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_linear(cls, linear, act_scale: float) -> "QuantizedLinear":
+        """Quantize a trained float ``Linear`` under a calibrated act scale."""
+        out_features, in_features = linear.weight.shape
+        module = cls(in_features, out_features)
+        module.load_weights(linear.weight.data,
+                            linear.bias.data if linear.bias is not None else None,
+                            act_scale)
+        return module
+
+    def load_weights(self, weight: np.ndarray, bias: Optional[np.ndarray],
+                     act_scale: float) -> None:
+        """(Re-)quantize float weights in place (used by student refresh)."""
+        q, scale = quantize_weight_per_channel(weight)
+        self.update_buffer("weight_q", q)
+        self.update_buffer("weight_scale", scale)
+        self.update_buffer("act_scale", np.asarray([float(act_scale)], dtype=np.float64))
+        self.update_buffer("bias", np.zeros(self.out_features, dtype=np.float64)
+                           if bias is None else np.asarray(bias, dtype=np.float64).copy())
+
+    def dequantized_weight(self) -> np.ndarray:
+        """The float64 weight the int8 payload represents (the compare gate)."""
+        return self.weight_q.astype(np.float64) * self.weight_scale[:, None]
+
+    # ------------------------------------------------------------------ #
+    def _weight_f32(self) -> np.ndarray:
+        """float32 view of ``weight_q``, cached until the buffer is swapped."""
+        cached = self.__dict__.get("_w_f32_cache")
+        if cached is None or cached[0] is not self.weight_q:
+            cached = (self.weight_q, self.weight_q.astype(np.float32))
+            self.__dict__["_w_f32_cache"] = cached
+        return cached[1]
+
+    def forward(self, x) -> Tensor:
+        x_np = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+        if x_np.ndim != 2:
+            raise ValueError(f"QuantizedLinear expects (N, {self.in_features}) inputs, "
+                             f"got shape {x_np.shape}")
+        s_act = float(self.act_scale[0])
+        q_x = quantize_activations(x_np, s_act)
+        if self.in_features * INT8_LEVELS * INT8_LEVELS < _EXACT_F32_ACC_LIMIT:
+            acc = (q_x.astype(np.float32) @ self._weight_f32().T).astype(np.float64)
+        else:
+            acc = (q_x.astype(np.int32) @ self.weight_q.astype(np.int32).T).astype(np.float64)
+        y = acc * (s_act * self.weight_scale)[None, :] + self.bias
+        return Tensor(y)
+
+    def __repr__(self) -> str:
+        return f"QuantizedLinear(in={self.in_features}, out={self.out_features})"

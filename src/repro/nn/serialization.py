@@ -1,4 +1,11 @@
-"""Persistence of module state dicts to ``.npz`` archives."""
+"""Persistence of module state dicts to ``.npz`` archives.
+
+Round-trips are dtype-preserving: ``np.savez`` stores each parameter and
+buffer with its exact dtype, and :meth:`Module.load_state_dict` restores
+values without coercion — a float32 checkpoint loads as float32 and the
+``int8`` weight buffers of quantized modules (:mod:`repro.nn.quant`) come
+back as ``int8``.
+"""
 
 from __future__ import annotations
 

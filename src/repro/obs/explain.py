@@ -67,6 +67,7 @@ def explain_stream(engine, stream_id: str) -> Dict[str, object]:
     return {
         "source": "engine",
         "stream": stream_id,
+        "selector_tier": getattr(engine.config, "selector_tier", "teacher"),
         "selected_index": None if view is None else int(view.selected_index),
         "selected_model": (None if view is None
                            else names[int(view.selected_index)]),
@@ -102,6 +103,7 @@ def explain_from_audit(events: List[Dict[str, object]],
     return {
         "source": "audit",
         "stream": stream_id,
+        "selector_tier": str(last.get("selector_tier") or "teacher"),
         "selected_index": last.get("selected_index"),
         "selected_model": last.get("selected_model"),
         "n_windows": int(last.get("n_windows") or 0),
@@ -120,10 +122,12 @@ def format_explain(info: Dict[str, object]) -> str:
     """Render one explain report as fixed-width text (the CLI output)."""
     from ..system.reporting import format_table  # deferred: system imports obs-using layers
 
+    tier = info.get("selector_tier") or "teacher"
     lines = [
         f"stream {info['stream']}: selected {info['selected_model']} "
         f"(index {info['selected_index']})"
-        + (" [provisional]" if info.get("provisional") else ""),
+        + (" [provisional]" if info.get("provisional") else "")
+        + (f" [tier: {tier}]" if tier != "teacher" else ""),
         f"windows voting: {info['n_windows']} (vote starts at window "
         f"{info.get('vote_start', 0)})  margin: {info['margin']:.4f}"
         + (f"  runner-up: {info['runner_up']}" if info.get("runner_up") else ""),

@@ -38,6 +38,7 @@ from .classical import (
 )
 from .ensemble_selector import SelectorEnsemble
 from .rocket import RocketFeatureTransform, RocketSelector
+from .student import Int8StudentSelector, StaticFeatureEncoder, StudentSelector
 
 __all__ = [
     "Selector", "make_selector", "register_selector", "selector_names",
@@ -51,4 +52,5 @@ __all__ = [
     "RidgeSelector", "NearestNeighborRawSelector",
     "RocketFeatureTransform", "RocketSelector",
     "SelectorEnsemble",
+    "StaticFeatureEncoder", "StudentSelector", "Int8StudentSelector",
 ]

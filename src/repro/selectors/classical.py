@@ -23,7 +23,7 @@ from ..ml import (
     StandardScaler,
 )
 from .base import Selector, register_selector
-from .features import extract_features
+from .features import extract_features, extract_features_cached
 
 
 class FeatureSelector(Selector):
@@ -52,7 +52,10 @@ class FeatureSelector(Selector):
     def predict_proba(self, windows: np.ndarray) -> np.ndarray:
         if self.classifier is None:
             raise RuntimeError("selector must be fitted before predict")
-        features = self.scaler.transform(extract_features(windows))
+        # memoised behind the content-addressed transform cache: repeated
+        # series skip feature extraction entirely (the scaler allocates a
+        # fresh output, so the read-only cached matrix is never mutated)
+        features = self.scaler.transform(extract_features_cached(windows))
         partial = self.classifier.predict_proba(features)
         proba = np.zeros((len(windows), self.n_classes))
         proba[:, self.classes_seen_] = partial

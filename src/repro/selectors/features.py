@@ -41,6 +41,8 @@ def _autocorr(x: np.ndarray, lag: int) -> np.ndarray:
 
 
 def _longest_strike_above_mean(row: np.ndarray) -> int:
+    """Reference (per-row) implementation; the regression baseline of
+    :func:`_longest_strike_batch`."""
     above = row > row.mean()
     best = current = 0
     for flag in above:
@@ -50,6 +52,7 @@ def _longest_strike_above_mean(row: np.ndarray) -> int:
 
 
 def _count_peaks(row: np.ndarray) -> int:
+    """Reference (per-row) implementation of the batched peak count."""
     if len(row) < 3:
         return 0
     interior = row[1:-1]
@@ -57,10 +60,51 @@ def _count_peaks(row: np.ndarray) -> int:
 
 
 def _peak_distance(row: np.ndarray) -> float:
+    """Reference (per-row) implementation of the batched peak distance."""
     idx = np.where((row[1:-1] > row[:-2]) & (row[1:-1] > row[2:]))[0]
     if len(idx) < 2:
         return float(len(row))
     return float(np.diff(idx).mean())
+
+
+def _longest_strike_batch(above: np.ndarray) -> np.ndarray:
+    """Longest run of True per row of a boolean matrix, vectorised.
+
+    Run boundaries are found from the sign changes of the zero-padded
+    mask; lengths are integers, so the result is bitwise identical to the
+    per-row reference loop.
+    """
+    n, length = above.shape
+    padded = np.zeros((n, length + 2), dtype=np.int8)
+    padded[:, 1:-1] = above
+    edges = np.diff(padded, axis=1)
+    run_rows, starts = np.nonzero(edges == 1)
+    _, ends = np.nonzero(edges == -1)
+    best = np.zeros(n, dtype=np.float64)
+    # starts/ends pair up in order within each row
+    np.maximum.at(best, run_rows, (ends - starts).astype(np.float64))
+    return best
+
+
+def _peak_stats_batch(x: np.ndarray) -> tuple:
+    """Per-row interior peak count and mean peak-to-peak distance.
+
+    The mean of consecutive index differences telescopes to
+    ``(last - first) / (count - 1)``, an integer ratio — bitwise identical
+    to the reference ``np.diff(idx).mean()``.
+    """
+    n, length = x.shape
+    if length < 3:
+        return np.zeros(n), np.full(n, float(length))
+    peaks = (x[:, 1:-1] > x[:, :-2]) & (x[:, 1:-1] > x[:, 2:])
+    counts = peaks.sum(axis=1)
+    first = peaks.argmax(axis=1)
+    last = (peaks.shape[1] - 1) - peaks[:, ::-1].argmax(axis=1)
+    spread = (last - first).astype(np.float64)
+    distance = np.where(counts >= 2,
+                        spread / np.maximum(counts - 1, 1),
+                        float(length))
+    return counts.astype(np.float64), distance
 
 
 def extract_features(windows: np.ndarray) -> np.ndarray:
@@ -94,7 +138,7 @@ def extract_features(windows: np.ndarray) -> np.ndarray:
     above_mean = x > mean[:, None]
     count_above = above_mean.sum(axis=1).astype(float)
     count_below = length - count_above
-    longest_strike = np.array([_longest_strike_above_mean(row) for row in x], dtype=float)
+    longest_strike = _longest_strike_batch(above_mean)
 
     signs = np.sign(x)
     zero_crossings = (np.abs(np.diff(signs, axis=1)) > 0).sum(axis=1).astype(float)
@@ -127,8 +171,7 @@ def extract_features(windows: np.ndarray) -> np.ndarray:
     ss_tot = np.maximum((centred ** 2).sum(axis=1), eps)
     r2 = 1.0 - ss_res / ss_tot
 
-    n_peaks = np.array([_count_peaks(row) for row in x], dtype=float)
-    peak_dist = np.array([_peak_distance(row) for row in x], dtype=float)
+    n_peaks, peak_dist = _peak_stats_batch(x)
 
     complexity = np.sqrt((diffs ** 2).sum(axis=1))
     sample_entropy_proxy = np.log1p(mean_abs_change / np.maximum(std, eps))
@@ -152,3 +195,22 @@ def extract_features(windows: np.ndarray) -> np.ndarray:
             f"feature matrix has {features.shape[1]} columns but {len(FEATURE_NAMES)} names"
         )
     return np.nan_to_num(features, nan=0.0, posinf=0.0, neginf=0.0)
+
+
+def extract_features_cached(windows: np.ndarray) -> np.ndarray:
+    """Memoised :func:`extract_features` behind the content-addressed
+    transform cache (:mod:`repro.serving.transform_cache`).
+
+    The key is the blake2b fingerprint of the windows matrix — the same
+    content hash the selection cache uses — so repeated series (and the
+    repeated chunk matrices of the padded predict path) pay feature
+    extraction once per content.  The returned matrix may be **read-only**
+    on a cache hit; callers that post-process (scalers, normalisation)
+    already allocate new arrays.
+    """
+    from ..serving.transform_cache import cached_transform  # deferred: serving imports selectors
+
+    x = np.asarray(windows, dtype=np.float64)
+    if x.ndim == 1:
+        x = x[None, :]
+    return cached_transform(x, "stats_features", extract_features)

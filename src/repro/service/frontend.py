@@ -61,15 +61,34 @@ def make_engine_factory(
     detector_names: Sequence[str],
     config: Optional[StreamingConfig] = None,
     model_set: Optional[Dict[str, AnomalyDetector]] = None,
+    teacher: Optional[Selector] = None,
+    student: Optional[Selector] = None,
+    refresh_config: Optional[object] = None,
 ) -> Callable[[], StreamEngine]:
     """A picklable-free engine builder for forked shards.
 
     The closure (selector weights included) reaches the shard through fork
     inheritance — engine construction happens inside the child, so shards
     never share mutable engine state with the parent or each other.
+
+    When ``teacher`` is given, each shard also gets its own
+    :class:`repro.distill.StudentRefresher` so drift triggers probe
+    student↔teacher agreement and fine-tune locally.  ``student`` names the
+    trainable float student; it defaults to ``selector`` itself and must be
+    passed explicitly when ``selector`` is the int8 tier (the int8 twin is
+    then re-quantized in place after each escalation).
     """
     def build() -> StreamEngine:
-        return StreamEngine(selector, detector_names, config, model_set=model_set)
+        refresher = None
+        if teacher is not None:
+            from ..distill import Int8StudentSelector, StudentRefresher  # deferred: optional tier
+
+            trainable = student if student is not None else selector
+            quantized = selector if isinstance(selector, Int8StudentSelector) else None
+            refresher = StudentRefresher(teacher, trainable, refresh_config,
+                                         quantized=quantized)
+        return StreamEngine(selector, detector_names, config, model_set=model_set,
+                            refresher=refresher)
     # advertised so the router can stamp replayable windowing inputs onto
     # its audit events without asking a shard
     build.streaming_config = config or StreamingConfig()
@@ -398,6 +417,7 @@ class ShardedService:
             provisional=bool(update["provisional"]),
             drift_statistic=float(update.get("drift_statistic") or 0.0),
             drift_triggered=bool(update.get("drift_triggered")),
+            selector_tier=(cfg.selector_tier if cfg is not None else "teacher"),
             inputs=inputs)
 
     def _broadcast_invalidate(self, streams: List[str]) -> None:

@@ -37,7 +37,7 @@ from ..data.records import TimeSeriesRecord
 from ..data.windows import extract_windows_batch
 from ..eval.evaluation import aggregate_window_probas
 from ..obs.audit import NULL_AUDIT
-from ..obs.metrics import DEFAULT_COUNT_BUCKETS, default_registry
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS, Counter, default_registry
 from ..obs.trace import span
 from ..selectors.base import Selector
 from ..selectors.nn_selector import NNSelector
@@ -63,6 +63,11 @@ class ServingConfig:
     worker_mode: str = "thread"
     #: windows per selector forward chunk (memory/latency trade-off)
     predict_batch_size: int = DEFAULT_PREDICT_BATCH_SIZE
+    #: which selector tier serves this service: ``"teacher"`` (the full NN),
+    #: ``"student"`` (distilled) or ``"student-int8"`` (distilled+quantized).
+    #: Purely descriptive — the service serves whatever selector it is given
+    #: — but stamped on metrics so operators can attribute traffic per tier.
+    selector_tier: str = "teacher"
 
 
 @dataclass(frozen=True)
@@ -109,6 +114,10 @@ class SelectionService:
         self.workers = WorkerPool(self.config.max_workers, mode=self.config.worker_mode)
         self.audit = audit if audit is not None else NULL_AUDIT
         registry = default_registry()
+        self._tier_selections = registry.register(Counter(
+            "repro_selector_tier_selections_total",
+            "series selections answered, by serving tier",
+            labels={"tier": self.config.selector_tier, "layer": "serving"}))
         self._h_batch_series = registry.histogram(
             "repro_serving_batch_series", "series per select_batch call",
             buckets=DEFAULT_COUNT_BUCKETS)
@@ -156,6 +165,7 @@ class SelectionService:
         """Answer a batch of series, vectorised across the cache misses."""
         results: List[Optional[SelectionResult]] = [None] * len(records)
         self._h_batch_series.observe(len(records))
+        self._tier_selections.inc(len(records))
         evictions_before = self.cache.stats.evictions
 
         # One cache lookup per unique series; duplicates share the outcome.

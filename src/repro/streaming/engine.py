@@ -73,6 +73,11 @@ class StreamingConfig:
     rescore_every: int = 1
     #: assert every incremental tail re-score against a full re-run (slow)
     verify_scores: bool = False
+    #: which selector tier serves this engine: ``"teacher"`` (the full NN),
+    #: ``"student"`` (distilled) or ``"student-int8"`` (distilled+quantized).
+    #: Purely descriptive — the engine serves whatever selector it is given —
+    #: but stamped on metrics, audit events and ``explain`` output.
+    selector_tier: str = "teacher"
 
 
 @dataclass(frozen=True)
@@ -149,11 +154,15 @@ class StreamEngine:
         config: Optional[StreamingConfig] = None,
         model_set: Optional[Dict[str, AnomalyDetector]] = None,
         audit: Optional[object] = None,
+        refresher: Optional[object] = None,
     ) -> None:
         self.detector_names = list(detector_names)
         self.config = config or StreamingConfig()
         #: structured audit trail (``repro.obs.audit``); a no-op by default
         self.audit = audit if audit is not None else NULL_AUDIT
+        #: optional :class:`repro.distill.StudentRefresher`; when set, drift
+        #: triggers probe student↔teacher agreement and fine-tune if needed
+        self.refresher = refresher
         self.model_set = model_set
         if model_set is not None:
             missing = [n for n in self.detector_names if n not in model_set]
@@ -182,6 +191,10 @@ class StreamEngine:
         self._reselections = registry.register(Counter(
             "repro_stream_reselections_total",
             "flushes that changed a stream's selected model"))
+        self._tier_selections = registry.register(Counter(
+            "repro_selector_tier_selections_total",
+            "stream selections decided, by serving tier",
+            labels={"tier": self.config.selector_tier, "layer": "streaming"}))
         # pure-observability site metrics: null (free) until obs is enabled
         self._h_flush_seconds = registry.histogram(
             "repro_stream_flush_seconds", "wall-clock latency of one flush")
@@ -318,8 +331,11 @@ class StreamEngine:
                     self._drift_triggers.inc()
                     self.streaming_selector.reset_votes(
                         state.votes, keep_last=self.config.keep_last_on_drift)
+                    if self.refresher is not None:
+                        self._refresh_student(stream_id, state)
 
             view = self.streaming_selector.selection(state.votes, series=state.buffer.series)
+            self._tier_selections.inc()
             selected_index = view.selected_index if view is not None else None
             previous_index = state.selected_index
             changed = (selected_index is not None
@@ -367,6 +383,23 @@ class StreamEngine:
 
         return updates
 
+    def _refresh_student(self, stream_id: str, state: _StreamState) -> None:
+        """Drift hook: probe student↔teacher agreement, fine-tune if it fell.
+
+        An escalated refresh changes the student's weights, so the
+        window-probability cache (stale float outputs) is dropped.
+        """
+        outcome = self.refresher.refresh_from_series(
+            state.buffer.series,
+            window=self.config.window,
+            stride=self.config.stride or self.config.window,
+            audit=self.audit,
+            stream=stream_id,
+        )
+        if (outcome is not None and outcome.escalated
+                and self.streaming_selector.cache is not None):
+            self.streaming_selector.cache.clear()
+
     def _audit_update(self, stream_id: str, state: _StreamState,
                       update: StreamUpdate, previous_index: Optional[int]) -> None:
         """Record one flush's decision for ``stream_id`` (audit enabled only).
@@ -401,6 +434,7 @@ class StreamEngine:
             provisional=update.provisional,
             drift_statistic=float(update.drift_statistic),
             drift_triggered=update.drift_triggered,
+            selector_tier=self.config.selector_tier,
             inputs=selection_inputs(
                 state.buffer.series,
                 window=self.config.window,

@@ -11,6 +11,8 @@ be driven without writing Python:
 * ``evaluate``      — evaluate a stored selector on labelled series.
 * ``select``        — predict the best TSAD model for one series.
 * ``detect``        — select a model and run it, printing the metrics.
+* ``distill``       — distill a stored teacher selector into a fast student
+  (and its int8-quantized twin) and save both next to the teacher.
 * ``batch-select``  — serve a whole directory of series through the batched,
   cached selection service and report throughput + cache statistics.
 * ``serve``         — long-running mode: read series file paths from stdin,
@@ -91,6 +93,36 @@ def _apply_runtime_args(args: argparse.Namespace) -> None:
         args.worker_mode = accel_config.default_worker_mode(args.worker_mode)
 
 
+#: suffix appended to a teacher's store name per serving tier
+_TIER_SUFFIX = {"teacher": "", "student": "-student", "student-int8": "-student-int8"}
+
+
+def _tier_name(name: str, tier: str) -> str:
+    """Store name of the selector serving one tier (``distill`` naming)."""
+    return name + _TIER_SUFFIX[tier]
+
+
+def _load_tier_selector(store: SelectorStore, name: str, tier: str):
+    """Load the selector backing one serving tier, with a helpful error."""
+    stored = _tier_name(name, tier)
+    try:
+        return store.load(stored)
+    except KeyError:
+        if tier == "teacher":
+            raise SystemExit(f"no stored selector named {name!r}")
+        raise SystemExit(
+            f"no stored selector named {stored!r} — run the distill command "
+            f"on {name!r} first to produce the {tier} tier")
+
+
+def _add_tier_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--selector-tier", default="teacher",
+                        choices=["teacher", "student", "student-int8"],
+                        help="serve the named selector itself (teacher) or its "
+                             "distilled companion NAME-student / NAME-student-int8 "
+                             "produced by the distill command")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="kdselector",
@@ -137,6 +169,38 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--lsh-bits", type=int, default=14)
     train.add_argument("--bins", type=int, default=8)
 
+    distill = sub.add_parser("distill",
+                             help="distill a stored teacher selector into a fast "
+                                  "student + int8 twin")
+    distill.add_argument("data_dir", type=Path,
+                         help="directory of series used as the transfer set")
+    distill.add_argument("--store", type=Path, default=Path("selector_store"))
+    distill.add_argument("--name", required=True,
+                         help="teacher selector name; the student is saved as "
+                              "NAME-student, the quantized twin as NAME-student-int8")
+    distill.add_argument("--window", type=int, default=96)
+    distill.add_argument("--stride", type=int, default=48)
+    distill.add_argument("--hidden", type=int, default=64,
+                         help="student hidden width")
+    distill.add_argument("--features", default="stats",
+                         choices=["stats", "rocket", "both"],
+                         help="static encodings feeding the student")
+    distill.add_argument("--kernels", type=int, default=96,
+                         help="ROCKET kernels when --features includes rocket")
+    distill.add_argument("--epochs", type=int, default=25)
+    distill.add_argument("--batch-size", type=int, default=64)
+    distill.add_argument("--lr", type=float, default=1e-2)
+    distill.add_argument("--alpha", type=float, default=0.9,
+                         help="soft-label weight of the distillation objective")
+    distill.add_argument("--t-soft", type=float, default=0.5,
+                         help="temperature sharpening the teacher's probabilities")
+    distill.add_argument("--calibration-fraction", type=float, default=0.25,
+                         help="windows held out for calibration + agreement gates")
+    distill.add_argument("--min-agreement", type=float, default=0.97,
+                         help="int8-vs-float selection agreement the quantized "
+                              "twin must reach (the dequantize-compare gate)")
+    distill.add_argument("--seed", type=int, default=0)
+
     evaluate = sub.add_parser("evaluate", help="evaluate a stored selector on labelled series")
     evaluate.add_argument("data_dir", type=Path)
     evaluate.add_argument("performance", type=Path)
@@ -173,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batch size cap, in selector windows")
     batch.add_argument("--repeat", type=int, default=1,
                        help="serve the directory this many times (>1 shows warm-cache speed)")
+    _add_tier_arg(batch)
     _add_runtime_args(batch)
 
     serve = sub.add_parser("serve",
@@ -182,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--window", type=int, default=96)
     serve.add_argument("--aggregation", default="vote", choices=["vote", "mean"])
     serve.add_argument("--cache-capacity", type=int, default=4096)
+    _add_tier_arg(serve)
     _add_runtime_args(serve)
 
     stream = sub.add_parser("stream",
@@ -218,6 +284,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "to this file")
     stream.add_argument("--metrics-output", type=Path, default=None,
                         help="write Prometheus text metrics to this file on exit")
+    _add_tier_arg(stream)
+    stream.add_argument("--refresh-min-agreement", type=float, default=None,
+                        help="enable drift-triggered student refresh: probe "
+                             "student-vs-teacher agreement on drift and fine-tune "
+                             "the student when it falls below this threshold "
+                             "(needs --selector-tier student or student-int8)")
     _add_runtime_args(stream, worker_mode=False)
 
     sharded = sub.add_parser("serve-sharded",
@@ -255,6 +327,13 @@ def build_parser() -> argparse.ArgumentParser:
     sharded.add_argument("--metrics-output", type=Path, default=None,
                          help="write Prometheus text metrics (router + every "
                               "shard) to this file on exit")
+    _add_tier_arg(sharded)
+    sharded.add_argument("--refresh-min-agreement", type=float, default=None,
+                         help="enable drift-triggered student refresh inside "
+                              "each shard: fine-tune the student when its "
+                              "agreement with the teacher falls below this "
+                              "threshold (needs --selector-tier student or "
+                              "student-int8)")
 
     explain = sub.add_parser("explain",
                              help="explain a stream's selection: vote breakdown, "
@@ -366,6 +445,64 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_distill(args: argparse.Namespace) -> int:
+    from ..detectors.base import DEFAULT_MODEL_NAMES
+    from ..distill import DistillConfig, calibration_split, distill_student, quantize_student
+
+    try:
+        records = load_series_directory(args.data_dir)
+    except (FileNotFoundError, NotADirectoryError) as error:
+        raise SystemExit(f"no such directory: {error}")
+    except (OSError, ValueError) as error:
+        raise SystemExit(str(error))
+    store = SelectorStore(args.store)
+    teacher = _load_tier_selector(store, args.name, "teacher")
+    detector_names = (list(DEFAULT_MODEL_NAMES)
+                      if teacher.n_classes == len(DEFAULT_MODEL_NAMES)
+                      else [f"model-{i}" for i in range(teacher.n_classes)])
+    windows = np.vstack([extract_windows(record.series, args.window, stride=args.stride)
+                         for record in records])
+
+    config = DistillConfig(
+        epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+        alpha=args.alpha, t_soft=args.t_soft,
+        hidden=args.hidden, features=args.features, n_kernels=args.kernels,
+        calibration_fraction=args.calibration_fraction,
+        min_agreement=args.min_agreement, seed=args.seed,
+    )
+    student, report = distill_student(teacher, windows, detector_names, config)
+    _, calib_idx = calibration_split(len(windows), config.calibration_fraction, config.seed)
+    calib_windows = windows[calib_idx] if len(calib_idx) else windows
+    try:
+        quantized, gate = quantize_student(student, calib_windows,
+                                           min_agreement=args.min_agreement)
+    except ValueError as error:
+        raise SystemExit(f"quantization gate failed: {error}")
+
+    metadata = {"teacher": args.name, "window": str(args.window),
+                "features": args.features, "hidden": str(args.hidden)}
+    store.save(_tier_name(args.name, "student"), student,
+               metadata={**metadata, "agreement_vs_teacher": f"{report.student_agreement:.4f}"},
+               overwrite=True)
+    store.save(_tier_name(args.name, "student-int8"), quantized,
+               metadata={**metadata, "agreement_vs_student": f"{gate['agreement']:.4f}"},
+               overwrite=True)
+
+    rows = [
+        ["transfer windows", report.n_windows],
+        ["calibration windows", report.n_calibration],
+        ["teacher parameters", report.teacher_parameters],
+        ["student parameters", report.student_parameters],
+        ["student vs teacher agreement", f"{report.student_agreement:.4f}"],
+        ["int8 vs student agreement", f"{gate['agreement']:.4f}"],
+        ["int8 max |dproba|", f"{gate['max_proba_diff']:.4f}"],
+    ]
+    print(format_table(["distillation", "value"], rows))
+    print(f"saved {_tier_name(args.name, 'student')!r} and "
+          f"{_tier_name(args.name, 'student-int8')!r} to {args.store}")
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     records, matrix, detector_names = _load_labelled(args.data_dir, args.performance)
     selector = SelectorStore(args.store).load(args.name)
@@ -415,14 +552,17 @@ def _make_service(args: argparse.Namespace) -> "SelectionService":
     from ..detectors.base import DEFAULT_MODEL_NAMES
     from ..serving import SelectionService, ServingConfig
 
+    tier = getattr(args, "selector_tier", "teacher")
     config = ServingConfig(
         window=args.window,
         aggregation=args.aggregation,
         cache_capacity=args.cache_capacity,
         max_workers=args.workers,
         worker_mode=args.worker_mode,
+        selector_tier=tier,
     )
-    return SelectionService.from_store(args.store, args.name, DEFAULT_MODEL_NAMES, config)
+    selector = _load_tier_selector(SelectorStore(args.store), args.name, tier)
+    return SelectionService(selector, DEFAULT_MODEL_NAMES, config)
 
 
 def _cmd_batch_select(args: argparse.Namespace) -> int:
@@ -482,10 +622,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_refresh_parts(args: argparse.Namespace, store: SelectorStore, selector):
+    """Resolve the (teacher, student, refresh_config) trio for --refresh-min-agreement.
+
+    The float student is the trainable target; when the serving tier is
+    ``student-int8`` it is loaded alongside so the int8 twin can be
+    re-quantized in place after each escalation.
+    """
+    if getattr(args, "refresh_min_agreement", None) is None:
+        return None, None, None
+    tier = getattr(args, "selector_tier", "teacher")
+    if tier == "teacher":
+        raise SystemExit("--refresh-min-agreement needs --selector-tier "
+                         "student or student-int8")
+    from ..distill import RefreshConfig
+
+    teacher = _load_tier_selector(store, args.name, "teacher")
+    student = (_load_tier_selector(store, args.name, "student")
+               if tier == "student-int8" else selector)
+    return teacher, student, RefreshConfig(min_agreement=args.refresh_min_agreement)
+
+
 def _make_stream_engine(args: argparse.Namespace) -> "StreamEngine":
     from ..detectors.base import DEFAULT_MODEL_NAMES
     from ..streaming import DriftConfig, StreamEngine, StreamingConfig
 
+    tier = getattr(args, "selector_tier", "teacher")
     config = StreamingConfig(
         window=args.window,
         stride=args.stride,
@@ -495,11 +657,22 @@ def _make_stream_engine(args: argparse.Namespace) -> "StreamEngine":
         max_workers=args.workers,
         drift=(DriftConfig(threshold=args.drift_threshold)
                if args.drift_threshold is not None else None),
+        selector_tier=tier,
     )
     model_set = (make_default_model_set(window=args.detector_window, fast=True)
                  if args.score else None)
-    selector = SelectorStore(args.store).load(args.name)
-    return StreamEngine(selector, DEFAULT_MODEL_NAMES, config, model_set=model_set)
+    store = SelectorStore(args.store)
+    selector = _load_tier_selector(store, args.name, tier)
+    teacher, student, refresh_config = _load_refresh_parts(args, store, selector)
+    refresher = None
+    if teacher is not None:
+        from ..distill import Int8StudentSelector, StudentRefresher
+
+        refresher = StudentRefresher(
+            teacher, student, refresh_config,
+            quantized=selector if isinstance(selector, Int8StudentSelector) else None)
+    return StreamEngine(selector, DEFAULT_MODEL_NAMES, config, model_set=model_set,
+                        refresher=refresher)
 
 
 def _format_stream_stats(stats) -> str:
@@ -606,15 +779,21 @@ def _make_sharded_service(args: argparse.Namespace, audit=None) -> "ShardedServi
     from ..service import ServiceConfig, ShardedService, make_engine_factory
     from ..streaming import DriftConfig, StreamingConfig
 
-    selector = SelectorStore(args.store).load(args.name)
+    tier = getattr(args, "selector_tier", "teacher")
+    store = SelectorStore(args.store)
+    selector = _load_tier_selector(store, args.name, tier)
     config = StreamingConfig(
         window=args.window,
         stride=args.stride,
         aggregation=args.aggregation,
         drift=(DriftConfig(threshold=args.drift_threshold)
                if args.drift_threshold is not None else None),
+        selector_tier=tier,
     )
-    factory = make_engine_factory(selector, DEFAULT_MODEL_NAMES, config)
+    teacher, student, refresh_config = _load_refresh_parts(args, store, selector)
+    factory = make_engine_factory(selector, DEFAULT_MODEL_NAMES, config,
+                                  teacher=teacher, student=student,
+                                  refresh_config=refresh_config)
     return ShardedService(factory, ServiceConfig(
         n_shards=args.shards, request_timeout_s=args.request_timeout),
         audit=audit)
@@ -740,6 +919,7 @@ _COMMANDS = {
     "generate-data": _cmd_generate_data,
     "label": _cmd_label,
     "train": _cmd_train,
+    "distill": _cmd_distill,
     "evaluate": _cmd_evaluate,
     "select": _cmd_select,
     "detect": _cmd_detect,

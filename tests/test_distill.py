@@ -1,0 +1,560 @@
+"""Tests for the distilled + quantized selector fast path (repro.distill).
+
+Covers the int8 kernels (per-channel round-trip bounds, calibration
+determinism, exact serialization), the distillation pipeline (student vs
+teacher agreement, the dequantize-compare gate, the bitwise-untouched
+teacher), the content-addressed transform cache, the incremental
+student refresh loop, and the ``distill`` CLI command with the
+``--selector-tier`` serving flags.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import TrainerConfig
+from repro.data import build_selector_dataset, generate_series
+from repro.data.windows import extract_windows
+from repro.distill import (
+    DistillConfig,
+    Int8StudentSelector,
+    RefreshConfig,
+    StudentRefresher,
+    StudentSelector,
+    calibration_split,
+    distill_student,
+    quantize_student,
+    selection_agreement,
+    sync_quantized,
+    teacher_soft_dataset,
+)
+from repro.nn.quant import (
+    INT8_LEVELS,
+    QuantizedLinear,
+    calibrate_activation_scale,
+    quantize_weight_per_channel,
+)
+from repro.obs import AuditLog
+from repro.selectors import make_selector
+from repro.selectors.features import (
+    _count_peaks,
+    _longest_strike_above_mean,
+    _longest_strike_batch,
+    _peak_distance,
+    _peak_stats_batch,
+    extract_features,
+    extract_features_cached,
+)
+from repro.serving.transform_cache import (
+    cached_transform,
+    configure_transform_cache,
+    default_transform_cache,
+)
+from repro.system.selector_store import SelectorStore
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+# --------------------------------------------------------------------------- #
+# int8 kernels (repro.nn.quant)
+# --------------------------------------------------------------------------- #
+class TestQuantKernels:
+    def test_per_channel_round_trip_bound(self, rng):
+        weight = rng.normal(scale=3.0, size=(16, 40))
+        q, scale = quantize_weight_per_channel(weight)
+        assert q.dtype == np.int8 and scale.shape == (16,)
+        dequantized = q.astype(np.float64) * scale[:, None]
+        # round-half-to-even: per-element error bounded by half a level
+        assert np.all(np.abs(weight - dequantized) <= scale[:, None] / 2 + 1e-12)
+        # each channel's absmax hits the full level range exactly
+        assert np.all(np.abs(q).max(axis=1) == INT8_LEVELS)
+
+    def test_zero_rows_get_unit_scale(self):
+        weight = np.zeros((3, 5))
+        weight[1] = [1.0, -2.0, 0.5, 0.0, 0.25]
+        q, scale = quantize_weight_per_channel(weight)
+        assert scale[0] == 1.0 and scale[2] == 1.0
+        assert np.all(q[0] == 0) and np.all(q[2] == 0)
+
+    def test_rejects_non_2d_weight(self):
+        with pytest.raises(ValueError):
+            quantize_weight_per_channel(np.zeros(4))
+
+    def test_activation_scale_deterministic_and_iterable(self, rng):
+        acts = rng.normal(size=(50, 8))
+        scale = calibrate_activation_scale(acts)
+        assert scale == calibrate_activation_scale(acts.copy())
+        assert scale == np.abs(acts).max() / INT8_LEVELS
+        # iterable form sees the union of all samples
+        assert calibrate_activation_scale([acts[:10], acts[10:]]) == scale
+        assert calibrate_activation_scale(np.empty((0, 8))) == 1.0
+
+    def test_quantized_linear_matches_float_within_bound(self, rng):
+        linear = nn.Linear(24, 6)
+        x = rng.normal(size=(32, 24))
+        act_scale = calibrate_activation_scale(x)
+        quantized = QuantizedLinear.from_linear(linear, act_scale)
+        expected = linear(nn.Tensor(x)).numpy()
+        got = quantized(nn.Tensor(x)).numpy()
+        # both operands carry at most half-a-level error; the product error
+        # is bounded by the sum of the per-operand contributions
+        w_err = (quantized.weight_scale / 2)[None, :] * np.abs(x).sum(axis=1)[:, None]
+        x_err = act_scale / 2 * np.abs(quantized.dequantized_weight()).sum(axis=1)[None, :]
+        assert np.all(np.abs(got - expected) <= w_err + x_err + 1e-9)
+
+    def test_forward_rejects_non_2d(self):
+        module = QuantizedLinear(4, 2)
+        with pytest.raises(ValueError):
+            module(nn.Tensor(np.zeros(4)))
+
+    def test_int32_fallback_matches_float32_gemm_semantics(self, rng):
+        # wide enough that in_features * 127 * 127 >= 2**24 -> int32 path
+        wide = QuantizedLinear(1100, 3)
+        narrow_weight = rng.normal(size=(3, 1100))
+        wide.load_weights(narrow_weight, None, act_scale=0.05)
+        x = rng.normal(scale=2.0, size=(4, 1100))
+        got = wide(nn.Tensor(x)).numpy()
+        # recompute the exact integer accumulation by hand
+        q_x = np.clip(np.rint(x / 0.05), -INT8_LEVELS, INT8_LEVELS)
+        acc = q_x.astype(np.int64) @ wide.weight_q.astype(np.int64).T
+        expected = acc * (0.05 * wide.weight_scale)[None, :]
+        assert np.array_equal(got, expected)
+
+    def test_serialization_round_trips_int8_payload(self, rng, tmp_path):
+        linear = nn.Linear(12, 5)
+        module = QuantizedLinear.from_linear(linear, act_scale=0.1)
+        nn.save_state(module, tmp_path / "q.npz")
+        restored = QuantizedLinear(12, 5)
+        nn.load_state(restored, tmp_path / "q.npz")
+        assert restored.weight_q.dtype == np.int8
+        assert np.array_equal(restored.weight_q, module.weight_q)
+        assert np.array_equal(restored.weight_scale, module.weight_scale)
+        assert np.array_equal(restored.act_scale, module.act_scale)
+        x = rng.normal(size=(8, 12))
+        assert np.array_equal(restored(nn.Tensor(x)).numpy(),
+                              module(nn.Tensor(x)).numpy())
+
+
+class TestBufferDtypePreservation:
+    """The serialization fix: buffers keep their dtype through save/load."""
+
+    class _Buffered(nn.Module):
+        def __init__(self):
+            super().__init__()
+            self.register_buffer("f32", np.arange(4, dtype=np.float32))
+            self.register_buffer("i8", np.arange(-3, 3, dtype=np.int8))
+            self.register_buffer("f64", np.arange(4, dtype=np.float64))
+
+    def test_register_buffer_preserves_dtype(self):
+        module = self._Buffered()
+        assert module.f32.dtype == np.float32
+        assert module.i8.dtype == np.int8
+        assert module.f64.dtype == np.float64
+
+    def test_save_load_round_trip_keeps_dtypes(self, tmp_path):
+        module = self._Buffered()
+        nn.save_state(module, tmp_path / "m.npz")
+        restored = self._Buffered()
+        restored.update_buffer("f32", np.zeros(4, dtype=np.float32))
+        nn.load_state(restored, tmp_path / "m.npz")
+        assert restored.f32.dtype == np.float32
+        assert restored.i8.dtype == np.int8
+        assert restored.f64.dtype == np.float64
+        assert np.array_equal(restored.f32, module.f32)
+
+    def test_state_dict_load_preserves_float32(self):
+        module = self._Buffered()
+        state = module.state_dict()
+        restored = self._Buffered()
+        restored.load_state_dict(state)
+        assert restored.f32.dtype == np.float32
+
+
+# --------------------------------------------------------------------------- #
+# vectorised feature kernels stay bitwise-equal to the per-row references
+# --------------------------------------------------------------------------- #
+class TestVectorisedFeatures:
+    def test_longest_strike_matches_reference(self, rng):
+        x = rng.normal(size=(40, 50))
+        above = x > x.mean(axis=1, keepdims=True)
+        batch = _longest_strike_batch(above)
+        reference = [_longest_strike_above_mean(row) for row in x]
+        assert np.array_equal(batch, np.asarray(reference, dtype=np.float64))
+
+    def test_peak_stats_match_reference(self, rng):
+        x = rng.normal(size=(40, 50))
+        counts, distances = _peak_stats_batch(x)
+        assert np.array_equal(counts, [float(_count_peaks(row)) for row in x])
+        assert np.array_equal(distances, [_peak_distance(row) for row in x])
+
+    def test_peak_stats_degenerate_width(self):
+        counts, distances = _peak_stats_batch(np.zeros((3, 2)))
+        assert np.array_equal(counts, np.zeros(3))
+        assert np.array_equal(distances, np.full(3, 2.0))
+
+    def test_constant_rows(self):
+        x = np.ones((4, 30))
+        above = x > x.mean(axis=1, keepdims=True)
+        assert np.array_equal(_longest_strike_batch(above), np.zeros(4))
+
+
+# --------------------------------------------------------------------------- #
+# content-addressed transform cache
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def fresh_cache():
+    """Small transform cache for the test; restore the env default after."""
+    configure_transform_cache(8)
+    yield default_transform_cache()
+    configure_transform_cache(None)
+
+
+class TestTransformCache:
+    def test_hit_is_bitwise_identical_and_read_only(self, rng, fresh_cache):
+        x = rng.normal(size=(6, 32))
+        calls = []
+
+        def fn(arr):
+            calls.append(1)
+            return arr * 2.0
+
+        first = cached_transform(x, "double", fn)
+        second = cached_transform(x.copy(), "double", fn)
+        assert len(calls) == 1  # second call served from the cache
+        assert second is first
+        assert np.array_equal(first, x * 2.0)
+        assert not second.flags.writeable
+        with pytest.raises(ValueError):
+            second[0, 0] = 99.0
+
+    def test_transform_id_separates_entries(self, rng, fresh_cache):
+        x = rng.normal(size=(4, 16))
+        a = cached_transform(x, "a", lambda arr: arr + 1)
+        b = cached_transform(x, "b", lambda arr: arr - 1)
+        assert not np.array_equal(a, b)
+
+    def test_disabled_cache_passes_through(self, rng):
+        configure_transform_cache(0)
+        try:
+            assert default_transform_cache() is None
+            x = rng.normal(size=(4, 16))
+            out = cached_transform(x, "t", lambda arr: arr * 3)
+            assert np.array_equal(out, x * 3)
+        finally:
+            configure_transform_cache(None)
+
+    def test_extract_features_cached_matches_direct(self, rng, fresh_cache):
+        windows = rng.normal(size=(10, 64))
+        direct = extract_features(windows)
+        cached = extract_features_cached(windows)
+        assert np.array_equal(direct, cached)
+        hits_before = fresh_cache.stats.hits
+        again = extract_features_cached(windows.copy())
+        assert fresh_cache.stats.hits == hits_before + 1
+        assert again is cached
+
+
+# --------------------------------------------------------------------------- #
+# distillation
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def distill_world():
+    """A small trained teacher + transfer/query windows."""
+    families = ("ECG", "IOPS", "MGAB", "SMD")
+    train_records = [generate_series(name, 0, 400, seed=4) for name in families]
+    detector_names = ["IForest", "HBOS", "MP", "POLY"]
+    gen = np.random.default_rng(9)
+    matrix = gen.uniform(0.05, 0.4, size=(len(train_records), len(detector_names)))
+    matrix[np.arange(len(train_records)), np.arange(len(train_records))] += 0.5
+    dataset = build_selector_dataset(train_records, matrix, detector_names,
+                                     window=64, stride=64)
+    teacher = make_selector("ResNet", window=64, n_classes=4, mid_channels=12,
+                            num_layers=2, seed=0)
+    teacher.fit(dataset, config=TrainerConfig(epochs=2, batch_size=32))
+
+    transfer_records = [generate_series(families[i % len(families)], i, 800, seed=11)
+                        for i in range(12)]
+    transfer = np.vstack([extract_windows(r.series, 64, stride=32)
+                          for r in transfer_records])
+    query_records = [generate_series(families[i % len(families)], i, 600, seed=12)
+                     for i in range(6)]
+    query = np.vstack([extract_windows(r.series, 64) for r in query_records])
+    return {"teacher": teacher, "detector_names": detector_names,
+            "transfer": transfer, "query": query}
+
+
+@pytest.fixture(scope="module")
+def distilled(distill_world):
+    student, report = distill_student(
+        distill_world["teacher"], distill_world["transfer"],
+        distill_world["detector_names"],
+        DistillConfig(epochs=30, seed=0))
+    return student, report
+
+
+class TestCalibrationSplit:
+    def test_deterministic_partition(self):
+        train_a, calib_a = calibration_split(100, 0.25, seed=3)
+        train_b, calib_b = calibration_split(100, 0.25, seed=3)
+        assert np.array_equal(train_a, train_b) and np.array_equal(calib_a, calib_b)
+        assert len(calib_a) == 25
+        assert sorted(np.concatenate([train_a, calib_a])) == list(range(100))
+
+    def test_seed_changes_split(self):
+        _, calib_a = calibration_split(100, 0.25, seed=3)
+        _, calib_b = calibration_split(100, 0.25, seed=4)
+        assert not np.array_equal(calib_a, calib_b)
+
+    def test_degenerate_sizes(self):
+        train, calib = calibration_split(1, 0.5, seed=0)
+        assert len(calib) == 0 and len(train) == 1
+        train, calib = calibration_split(10, 0.0, seed=0)
+        assert len(calib) == 0 and len(train) == 10
+        # at least one training row always survives
+        _, calib = calibration_split(4, 0.99, seed=0)
+        assert len(calib) <= 3
+
+
+class TestSelectionAgreement:
+    def test_empty_is_perfect(self):
+        assert selection_agreement(np.empty((0, 3)), np.empty((0, 3))) == 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            selection_agreement(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_counts_matching_argmax(self):
+        a = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        b = np.array([[0.8, 0.2], [0.7, 0.3], [0.1, 0.9]])
+        assert selection_agreement(a, b) == pytest.approx(1 / 3)
+
+
+class TestDistillStudent:
+    def test_soft_dataset_wraps_teacher_proba(self, distill_world):
+        windows = distill_world["transfer"][:20]
+        dataset = teacher_soft_dataset(distill_world["teacher"], windows,
+                                       distill_world["detector_names"])
+        proba = distill_world["teacher"].predict_proba(windows)
+        assert np.array_equal(dataset.performances, proba)
+        assert np.array_equal(dataset.hard_labels, proba.argmax(axis=1))
+        assert dataset.window_size == 64
+
+    def test_student_agrees_with_teacher(self, distill_world, distilled):
+        student, report = distilled
+        assert report.student_parameters < report.teacher_parameters
+        # regression floor on held-out windows the student never saw
+        agreement = selection_agreement(
+            student.predict_proba(distill_world["query"]),
+            distill_world["teacher"].predict_proba(distill_world["query"]))
+        assert agreement >= 0.9
+        assert report.student_agreement >= 0.9
+
+    def test_teacher_bitwise_untouched(self, distill_world):
+        teacher = distill_world["teacher"]
+        before = teacher.predict_proba(distill_world["query"])
+        distill_student(teacher, distill_world["transfer"][:60],
+                        distill_world["detector_names"],
+                        DistillConfig(epochs=2, seed=1))
+        assert np.array_equal(teacher.predict_proba(distill_world["query"]), before)
+
+    def test_rejects_tiny_transfer_sets(self, distill_world):
+        with pytest.raises(ValueError):
+            distill_student(distill_world["teacher"],
+                            distill_world["transfer"][:1],
+                            distill_world["detector_names"])
+
+
+class TestQuantizeStudent:
+    def test_quantized_agrees_with_float(self, distill_world, distilled):
+        student, _ = distilled
+        quantized, gate = quantize_student(student, distill_world["transfer"],
+                                           min_agreement=0.97)
+        assert isinstance(quantized, Int8StudentSelector)
+        assert gate["agreement"] >= 0.97
+        assert gate["max_proba_diff"] < 0.1
+        # the property holds on fresh windows too, not just the calibration set
+        agreement = selection_agreement(
+            quantized.predict_proba(distill_world["query"]),
+            student.predict_proba(distill_world["query"]))
+        assert agreement >= 0.97
+
+    def test_gate_raises_below_threshold(self, distill_world, distilled):
+        student, _ = distilled
+        # an unreachable threshold must trip the dequantize-compare gate
+        with pytest.raises(ValueError, match="calibration windows"):
+            quantize_student(student, distill_world["transfer"], min_agreement=1.1)
+
+    def test_int8_selector_is_inference_only(self, distill_world, distilled):
+        student, _ = distilled
+        quantized, _ = quantize_student(student, distill_world["transfer"],
+                                        min_agreement=None)
+        with pytest.raises(RuntimeError, match="inference-only"):
+            quantized.fit(None)
+
+    def test_sync_quantized_tracks_finetuned_weights(self, distill_world, distilled):
+        student, _ = distilled
+        quantized, _ = quantize_student(student, distill_world["transfer"],
+                                        min_agreement=None)
+        before = quantized.predict_proba(distill_world["query"][:8])
+        student.classifier.weight.data[:] += 0.5
+        try:
+            sync_quantized(student, quantized)
+            after = quantized.predict_proba(distill_world["query"][:8])
+            assert not np.array_equal(before, after)
+        finally:
+            student.classifier.weight.data[:] -= 0.5
+            sync_quantized(student, quantized)
+
+
+class TestStoreRoundTrip:
+    def test_student_and_int8_round_trip_bitwise(self, distill_world, distilled,
+                                                 tmp_path):
+        student, _ = distilled
+        quantized, _ = quantize_student(student, distill_world["transfer"],
+                                        min_agreement=None)
+        store = SelectorStore(tmp_path / "store")
+        store.save("s", student)
+        store.save("s-int8", quantized)
+
+        restored = store.load("s")
+        restored_q = store.load("s-int8")
+        query = distill_world["query"]
+        assert np.array_equal(restored.predict_proba(query),
+                              student.predict_proba(query))
+        assert np.array_equal(restored_q.predict_proba(query),
+                              quantized.predict_proba(query))
+        assert restored_q.classifier.weight_q.dtype == np.int8
+
+
+# --------------------------------------------------------------------------- #
+# incremental refresh
+# --------------------------------------------------------------------------- #
+class TestStudentRefresher:
+    def test_rejects_int8_student(self, distill_world, distilled):
+        student, _ = distilled
+        quantized, _ = quantize_student(student, distill_world["transfer"],
+                                        min_agreement=None)
+        with pytest.raises(TypeError, match="quantized="):
+            StudentRefresher(distill_world["teacher"], quantized)
+
+    def test_no_escalation_when_in_agreement(self, distill_world, distilled):
+        student, _ = distilled
+        refresher = StudentRefresher(distill_world["teacher"], student,
+                                     RefreshConfig(min_agreement=0.5))
+        outcome = refresher.refresh(distill_world["query"])
+        assert not outcome.escalated and outcome.steps == 0
+        assert refresher._checks.value == 1
+        assert refresher._escalations.value == 0
+
+    def test_empty_windows_no_op(self, distill_world, distilled):
+        student, _ = distilled
+        refresher = StudentRefresher(distill_world["teacher"], student)
+        outcome = refresher.refresh(np.empty((0, 64)))
+        assert outcome.windows == 0 and not outcome.escalated
+
+    def test_escalation_finetunes_and_audits(self, distill_world, tmp_path):
+        # a fresh, deliberately stale student: distill briefly, then perturb
+        student, _ = distill_student(
+            distill_world["teacher"], distill_world["transfer"],
+            distill_world["detector_names"], DistillConfig(epochs=20, seed=2))
+        quantized, _ = quantize_student(student, distill_world["transfer"],
+                                        min_agreement=None)
+        noise = np.random.default_rng(5)
+        student.classifier.weight.data += noise.normal(
+            scale=0.3, size=student.classifier.weight.data.shape)
+
+        audit = AuditLog(tmp_path / "audit.jsonl")
+        refresher = StudentRefresher(
+            distill_world["teacher"], student,
+            RefreshConfig(min_agreement=0.99, steps=60, lr=1e-2, seed=0),
+            quantized=quantized)
+        q_before = quantized.predict_proba(distill_world["query"][:8])
+        outcome = refresher.refresh(distill_world["transfer"], audit=audit,
+                                    stream="s0")
+        assert outcome.escalated and outcome.steps == 60
+        assert outcome.agreement_after >= outcome.agreement_before
+        assert refresher._escalations.value == 1
+        assert refresher._finetune_steps.value == 60
+        # the int8 twin was re-quantized in place
+        assert not np.array_equal(
+            quantized.predict_proba(distill_world["query"][:8]), q_before)
+        events = audit.events(event="student_refresh")
+        assert len(events) == 1
+        assert events[0]["stream"] == "s0" and events[0]["escalated"] is True
+
+    def test_refresh_from_series_windows_the_tail(self, distill_world, distilled):
+        student, _ = distilled
+        refresher = StudentRefresher(distill_world["teacher"], student,
+                                     RefreshConfig(min_agreement=0.0))
+        series = generate_series("ECG", 0, 500, seed=13).series
+        outcome = refresher.refresh_from_series(series, window=64, stride=32)
+        assert outcome is not None and outcome.windows > 0
+        assert refresher.refresh_from_series(np.zeros(10), window=64, stride=32) is None
+
+
+# --------------------------------------------------------------------------- #
+# CLI: distill + --selector-tier
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def cli_distilled(tmp_path_factory):
+    from repro.system.cli import main
+
+    root = tmp_path_factory.mktemp("distill_cli")
+    data_dir = root / "data"
+    perf = root / "perf.npz"
+    store = root / "store"
+    assert main(["generate-data", str(data_dir), "--datasets", "ECG", "IOPS",
+                 "SMD", "--per-dataset", "1", "--length", "400", "--seed", "3"]) == 0
+    assert main(["label", str(data_dir), str(perf), "--detector-window", "16"]) == 0
+    assert main(["train", str(data_dir), str(perf), "--selector", "MLP",
+                 "--store", str(store), "--name", "m", "--window", "64",
+                 "--stride", "32", "--epochs", "2"]) == 0
+    assert main(["distill", str(data_dir), "--store", str(store), "--name", "m",
+                 "--window", "64", "--stride", "32", "--epochs", "10",
+                 "--min-agreement", "0.0"]) == 0
+    return {"root": root, "data_dir": data_dir, "store": store}
+
+
+class TestDistillCLI:
+    def test_distill_saves_both_tiers(self, cli_distilled):
+        store = SelectorStore(cli_distilled["store"])
+        assert isinstance(store.load("m-student"), StudentSelector)
+        assert isinstance(store.load("m-student-int8"), Int8StudentSelector)
+
+    def test_batch_select_with_int8_tier(self, cli_distilled, capsys):
+        from repro.system.cli import main
+
+        assert main(["batch-select", str(cli_distilled["data_dir"]),
+                     "--store", str(cli_distilled["store"]), "--name", "m",
+                     "--selector-tier", "student-int8", "--window", "64"]) == 0
+        assert "series/s" in capsys.readouterr().out
+
+    def test_missing_student_tier_is_actionable(self, cli_distilled):
+        from repro.system.cli import main
+
+        with pytest.raises(SystemExit, match="distill"):
+            main(["batch-select", str(cli_distilled["data_dir"]),
+                  "--store", str(cli_distilled["store"]), "--name", "ghost",
+                  "--selector-tier", "student", "--window", "64"])
+
+    def test_refresh_flag_requires_student_tier(self, cli_distilled):
+        from repro.system.cli import main
+
+        series = cli_distilled["data_dir"] / "ECG_0.csv"
+        with pytest.raises(SystemExit, match="selector-tier"):
+            main(["stream", str(series), "--store", str(cli_distilled["store"]),
+                  "--name", "m", "--refresh-min-agreement", "0.9",
+                  "--window", "64"])
+
+    def test_stream_with_refresh_and_tier(self, cli_distilled, capsys):
+        from repro.system.cli import main
+
+        series = sorted(cli_distilled["data_dir"].glob("*.csv"))[0]
+        assert main(["stream", str(series), "--store", str(cli_distilled["store"]),
+                     "--name", "m", "--selector-tier", "student-int8",
+                     "--refresh-min-agreement", "0.5", "--window", "64",
+                     "--stride", "32", "--drift-threshold", "0.5"]) == 0
+        assert "selected" in capsys.readouterr().out
