@@ -11,6 +11,7 @@
 #   make stream-demo - run the streaming quickstart example end to end
 #   make obs-demo    - run the observability walkthrough example end to end
 #   make distill-demo - run the distill + quantize + refresh example end to end
+#   make cascade-demo - run the cost-aware cascade + SLO admission example
 #   make docs-check  - docstring + documentation-link checks
 
 PYTHON ?= python
@@ -20,7 +21,7 @@ PYTHONPATH := src
 #: recovery loop must fail the build, not wedge it
 CHAOS_TIMEOUT ?= 600
 
-.PHONY: test chaos bench-smoke bench stream-demo obs-demo distill-demo docs-check
+.PHONY: test chaos bench-smoke bench stream-demo obs-demo distill-demo cascade-demo docs-check
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -34,6 +35,7 @@ bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_streaming_throughput.py --smoke
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_service_scalability.py --smoke
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_serving_throughput.py --smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_e2e_slo.py --smoke
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q benchmarks/
@@ -46,6 +48,9 @@ obs-demo:
 
 distill-demo:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/distill_demo.py
+
+cascade-demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/cascade_demo.py
 
 docs-check:
 	$(PYTHON) tools/docs_check.py

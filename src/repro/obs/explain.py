@@ -64,6 +64,12 @@ def explain_stream(engine, stream_id: str) -> Dict[str, object]:
             "trajectory": [float(s) for s in state.monitor.history],
         }
 
+    cascade: Optional[Dict[str, object]] = None
+    if getattr(engine, "cascade", None) is not None:
+        last = getattr(state, "last_cascade", None)
+        cascade = _cascade_block(last,
+                                 escalated_total=getattr(state, "escalated_windows", 0))
+
     return {
         "source": "engine",
         "stream": stream_id,
@@ -78,6 +84,37 @@ def explain_stream(engine, stream_id: str) -> Dict[str, object]:
         "window_votes": window_votes,
         **_margin(votes),
         "drift": drift,
+        "cascade": cascade,
+    }
+
+
+def _cascade_block(last: Optional[Dict[str, object]],
+                   escalated_total: int = 0) -> Dict[str, object]:
+    """The cascade section of an explain report: which stage answered, the
+    fast tier's weakest margin vs the threshold, predicted-vs-actual cost."""
+    if not last:
+        return {"enabled": True, "stage": None, "escalated_total": int(escalated_total)}
+    escalated = int(last.get("escalated_windows") or 0)
+    plan = last.get("plan")
+    if plan == "teacher":
+        stage = "teacher"
+    elif escalated:
+        stage = "escalated"
+    else:
+        stage = "student"
+    return {
+        "enabled": True,
+        "stage": stage,
+        "plan": plan,
+        "escalated_windows": escalated,
+        "n_new_windows": int(last.get("n_new_windows") or last.get("n_windows") or 0),
+        "escalated_total": int(escalated_total),
+        "threshold": last.get("threshold"),
+        "min_margin": last.get("min_margin"),
+        "predicted_ms": last.get("predicted_ms"),
+        "predicted_mb": last.get("predicted_mb"),
+        "actual_forward_ms": last.get("actual_forward_ms"),
+        "fallback": bool(last.get("fallback")),
     }
 
 
@@ -113,6 +150,12 @@ def explain_from_audit(events: List[Dict[str, object]],
         "window_votes": None,  # per-window rows are not audited, only votes
         **_margin(votes),
         "drift": drift,
+        "cascade": (_cascade_block(
+                        dict(last["cascade"]),
+                        escalated_total=sum(int((e.get("cascade") or {})
+                                                .get("escalated_windows") or 0)
+                                            for e in selections))
+                    if last.get("cascade") else None),
         "updates": len(selections),
         "reselections": sum(1 for e in selections if e.get("changed")),
     }
@@ -148,4 +191,28 @@ def format_explain(info: Dict[str, object]) -> str:
         tail = ", ".join(f"{s:.3f}" for s in trajectory[-8:]) or "-"
         lines.append(f"drift statistic: {drift['statistic']:.4f}  "
                      f"re-selections: {drift['triggers']}  trajectory (last 8): {tail}")
+    cascade = info.get("cascade")
+    if cascade:
+        if cascade.get("stage") is None:
+            lines.append("cascade: enabled (no routed flush yet)")
+        else:
+            margin_txt = ("-" if cascade.get("min_margin") is None
+                          else f"{cascade['min_margin']:.4f}")
+            threshold_txt = ("-" if cascade.get("threshold") is None
+                             else f"{cascade['threshold']:.4f}")
+            cost_bits = []
+            if cascade.get("predicted_ms") is not None:
+                cost_bits.append(f"predicted {cascade['predicted_ms']:.2f} ms")
+            if cascade.get("actual_forward_ms") is not None:
+                cost_bits.append(f"actual {cascade['actual_forward_ms']:.2f} ms")
+            if cascade.get("predicted_mb") is not None:
+                cost_bits.append(f"predicted {cascade['predicted_mb']:.2f} MB")
+            lines.append(
+                f"cascade: stage {cascade['stage']} (plan {cascade.get('plan')}"
+                + (", SLO fallback" if cascade.get("fallback") else "")
+                + f")  escalated {cascade.get('escalated_windows', 0)}"
+                f"/{cascade.get('n_new_windows', 0)} new windows "
+                f"({cascade.get('escalated_total', 0)} total)  "
+                f"min margin {margin_txt} vs threshold {threshold_txt}"
+                + (f"  cost: {', '.join(cost_bits)}" if cost_bits else ""))
     return "\n".join(lines)

@@ -64,6 +64,7 @@ def make_engine_factory(
     teacher: Optional[Selector] = None,
     student: Optional[Selector] = None,
     refresh_config: Optional[object] = None,
+    cascade: Optional[object] = None,
 ) -> Callable[[], StreamEngine]:
     """A picklable-free engine builder for forked shards.
 
@@ -77,6 +78,12 @@ def make_engine_factory(
     trainable float student; it defaults to ``selector`` itself and must be
     passed explicitly when ``selector`` is the int8 tier (the int8 twin is
     then re-quantized in place after each escalation).
+
+    ``cascade`` (a :class:`repro.cascade.CascadeRouter`) reaches each shard
+    the same way — through fork inheritance — so every shard routes with
+    the identical threshold, seed and cost model.  Escalation decisions are
+    per window row and content-local, which keeps routing (and therefore
+    selections) bitwise identical across any shard count.
     """
     def build() -> StreamEngine:
         refresher = None
@@ -88,7 +95,7 @@ def make_engine_factory(
             refresher = StudentRefresher(teacher, trainable, refresh_config,
                                          quantized=quantized)
         return StreamEngine(selector, detector_names, config, model_set=model_set,
-                            refresher=refresher)
+                            refresher=refresher, cascade=cascade)
     # advertised so the router can stamp replayable windowing inputs onto
     # its audit events without asking a shard
     build.streaming_config = config or StreamingConfig()

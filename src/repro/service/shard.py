@@ -60,6 +60,8 @@ def _stats_dict(engine: StreamEngine) -> Dict[str, object]:
         "drift_triggers": stats.drift_triggers,
         "tail_rescores": stats.tail_rescores,
         "full_rescores": stats.full_rescores,
+        "escalated_windows": stats.escalated_windows,
+        "slo_fallbacks": stats.slo_fallbacks,
     }
 
 

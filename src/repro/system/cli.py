@@ -12,7 +12,10 @@ be driven without writing Python:
 * ``select``        — predict the best TSAD model for one series.
 * ``detect``        — select a model and run it, printing the metrics.
 * ``distill``       — distill a stored teacher selector into a fast student
-  (and its int8-quantized twin) and save both next to the teacher.
+  (and its int8-quantized twin) and save both next to the teacher, with a
+  calibrated cascade margin threshold stamped on each tier.
+* ``train-cost-model`` — harvest ``cost_observation`` events from recorded
+  audit logs and fit the cascade's runtime/peak-memory cost model.
 * ``batch-select``  — serve a whole directory of series through the batched,
   cached selection service and report throughput + cache statistics.
 * ``serve``         — long-running mode: read series file paths from stdin,
@@ -123,6 +126,34 @@ def _add_tier_arg(parser: argparse.ArgumentParser) -> None:
                              "produced by the distill command")
 
 
+def _add_cascade_args(parser: argparse.ArgumentParser) -> None:
+    """Cascade routing + SLO admission flags (batch-select/serve/stream/serve-sharded)."""
+    group = parser.add_argument_group("cascade")
+    group.add_argument("--cascade", action="store_true",
+                       help="confidence-gated cascade: the distilled fast tier "
+                            "answers windows whose top-1 margin clears the "
+                            "calibrated threshold, the rest escalate to the "
+                            "teacher (uses NAME-student-int8 unless "
+                            "--selector-tier picks the float student)")
+    group.add_argument("--cascade-threshold", type=float, default=None,
+                       help="margin threshold override (default: the value "
+                            "calibrated by the distill command, else 0.1)")
+    group.add_argument("--cascade-seed", type=int, default=0,
+                       help="seed of the deterministic tie-break for windows "
+                            "landing exactly on the threshold")
+    group.add_argument("--latency-slo-ms", type=float, default=None,
+                       help="per-batch latency SLO in ms: admission picks the "
+                            "best predicted-quality plan (teacher/cascade/fast) "
+                            "fitting it, falling back to the cheapest "
+                            "(audited + metered) when nothing fits")
+    group.add_argument("--memory-budget-mb", type=float, default=None,
+                       help="per-batch peak-memory budget in MB for admission "
+                            "(see --latency-slo-ms)")
+    group.add_argument("--cost-model", type=Path, default=None,
+                       help="cost-model JSON fitted by train-cost-model "
+                            "(default: deterministic analytic coefficients)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="kdselector",
@@ -199,6 +230,10 @@ def build_parser() -> argparse.ArgumentParser:
     distill.add_argument("--min-agreement", type=float, default=0.97,
                          help="int8-vs-float selection agreement the quantized "
                               "twin must reach (the dequantize-compare gate)")
+    distill.add_argument("--cascade-target-agreement", type=float, default=0.995,
+                         help="teacher-agreement target of the cascade margin "
+                              "threshold calibrated on the held-out windows "
+                              "(stamped on each tier's store metadata)")
     distill.add_argument("--seed", type=int, default=0)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a stored selector on labelled series")
@@ -238,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--repeat", type=int, default=1,
                        help="serve the directory this many times (>1 shows warm-cache speed)")
     _add_tier_arg(batch)
+    _add_cascade_args(batch)
     _add_runtime_args(batch)
 
     serve = sub.add_parser("serve",
@@ -248,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--aggregation", default="vote", choices=["vote", "mean"])
     serve.add_argument("--cache-capacity", type=int, default=4096)
     _add_tier_arg(serve)
+    _add_cascade_args(serve)
     _add_runtime_args(serve)
 
     stream = sub.add_parser("stream",
@@ -290,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "student-vs-teacher agreement on drift and fine-tune "
                              "the student when it falls below this threshold "
                              "(needs --selector-tier student or student-int8)")
+    _add_cascade_args(stream)
     _add_runtime_args(stream, worker_mode=False)
 
     sharded = sub.add_parser("serve-sharded",
@@ -334,6 +372,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "agreement with the teacher falls below this "
                               "threshold (needs --selector-tier student or "
                               "student-int8)")
+    _add_cascade_args(sharded)
+
+    cost = sub.add_parser("train-cost-model",
+                          help="fit the cascade cost model from cost_observation "
+                               "events harvested out of recorded audit logs")
+    cost.add_argument("audit_files", type=Path, nargs="+",
+                      help="JSONL audit logs recorded with --audit")
+    cost.add_argument("--output", type=Path, default=None,
+                      help="where to write the fitted cost-model JSON "
+                           "(required unless --harvest-only)")
+    cost.add_argument("--window", type=int, default=96)
+    cost.add_argument("--harvest-only", action="store_true",
+                      help="print the harvested observations as JSON lines "
+                           "without fitting anything")
 
     explain = sub.add_parser("explain",
                              help="explain a stream's selection: vote breakdown, "
@@ -479,15 +531,39 @@ def _cmd_distill(args: argparse.Namespace) -> int:
     except ValueError as error:
         raise SystemExit(f"quantization gate failed: {error}")
 
+    # calibrate the cascade margin threshold per tier on the held-out
+    # windows: the smallest threshold whose kept (confident) rows still
+    # agree with the teacher at the requested rate
+    from ..cascade import calibrate_margin_threshold
+
+    teacher_proba = teacher.predict_proba(calib_windows)
+    calibrations = {
+        "student": calibrate_margin_threshold(
+            student.predict_proba(calib_windows), teacher_proba,
+            target_agreement=args.cascade_target_agreement),
+        "student-int8": calibrate_margin_threshold(
+            quantized.predict_proba(calib_windows), teacher_proba,
+            target_agreement=args.cascade_target_agreement),
+    }
+
+    def _cascade_metadata(cal):
+        return {"cascade_threshold": f"{cal.threshold:.6f}",
+                "cascade_escalation_rate": f"{cal.escalation_rate:.6f}",
+                "cascade_kept_agreement": f"{cal.kept_agreement:.6f}",
+                "cascade_overall_agreement": f"{cal.overall_agreement:.6f}"}
+
     metadata = {"teacher": args.name, "window": str(args.window),
                 "features": args.features, "hidden": str(args.hidden)}
     store.save(_tier_name(args.name, "student"), student,
-               metadata={**metadata, "agreement_vs_teacher": f"{report.student_agreement:.4f}"},
+               metadata={**metadata, **_cascade_metadata(calibrations["student"]),
+                         "agreement_vs_teacher": f"{report.student_agreement:.4f}"},
                overwrite=True)
     store.save(_tier_name(args.name, "student-int8"), quantized,
-               metadata={**metadata, "agreement_vs_student": f"{gate['agreement']:.4f}"},
+               metadata={**metadata, **_cascade_metadata(calibrations["student-int8"]),
+                         "agreement_vs_student": f"{gate['agreement']:.4f}"},
                overwrite=True)
 
+    int8_cal = calibrations["student-int8"]
     rows = [
         ["transfer windows", report.n_windows],
         ["calibration windows", report.n_calibration],
@@ -496,6 +572,9 @@ def _cmd_distill(args: argparse.Namespace) -> int:
         ["student vs teacher agreement", f"{report.student_agreement:.4f}"],
         ["int8 vs student agreement", f"{gate['agreement']:.4f}"],
         ["int8 max |dproba|", f"{gate['max_proba_diff']:.4f}"],
+        ["cascade threshold (int8)", f"{int8_cal.threshold:.4f}"],
+        ["cascade escalation rate (int8)", f"{int8_cal.escalation_rate:.4f}"],
+        ["cascade kept agreement (int8)", f"{int8_cal.kept_agreement:.4f}"],
     ]
     print(format_table(["distillation", "value"], rows))
     print(f"saved {_tier_name(args.name, 'student')!r} and "
@@ -548,11 +627,71 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _meta_float(metadata, key: str, default: float) -> float:
+    try:
+        return float(metadata.get(key, default))
+    except (TypeError, ValueError):
+        return default
+
+
+def _resolve_cascade(args: argparse.Namespace, store: SelectorStore, window: int):
+    """Build the CascadeRouter the --cascade flags describe (or ``None``).
+
+    Returns ``(router, serving_tier)``: with the cascade on, the serving
+    selector is the *fast* tier — ``--selector-tier student`` keeps the
+    float student, anything else serves the int8 twin — and the router
+    carries the teacher for escalations.  The margin threshold resolves
+    ``--cascade-threshold`` → distill-calibrated store metadata → default.
+    """
+    slo_given = (getattr(args, "latency_slo_ms", None) is not None
+                 or getattr(args, "memory_budget_mb", None) is not None)
+    if not getattr(args, "cascade", False):
+        if slo_given:
+            raise SystemExit("--latency-slo-ms/--memory-budget-mb need --cascade")
+        return None
+    from ..cascade import DEFAULT_THRESHOLD, CascadeRouter, CostModel
+
+    tier = getattr(args, "selector_tier", "teacher")
+    fast_tier = tier if tier in ("student", "student-int8") else "student-int8"
+    teacher = _load_tier_selector(store, args.name, "teacher")
+    _load_tier_selector(store, args.name, fast_tier)  # fail early, helpfully
+    try:
+        metadata = dict(store.info(_tier_name(args.name, fast_tier)).metadata or {})
+    except KeyError:
+        metadata = {}
+    threshold = (args.cascade_threshold if args.cascade_threshold is not None
+                 else _meta_float(metadata, "cascade_threshold", DEFAULT_THRESHOLD))
+    if args.cost_model is not None:
+        try:
+            cost_model = CostModel.load(args.cost_model)
+        except (OSError, ValueError, KeyError) as error:
+            raise SystemExit(f"cannot load cost model {args.cost_model}: {error}")
+    else:
+        cost_model = CostModel.default(window)
+    router = CascadeRouter(
+        teacher,
+        threshold=float(threshold),
+        seed=args.cascade_seed,
+        cost_model=cost_model,
+        fast_tier=fast_tier,
+        escalation_rate=_meta_float(metadata, "cascade_escalation_rate", 0.1),
+        kept_agreement=_meta_float(metadata, "cascade_kept_agreement", 0.995),
+        fast_quality=_meta_float(metadata, "cascade_overall_agreement", 0.97),
+        window=window,
+    )
+    return router, fast_tier
+
+
 def _make_service(args: argparse.Namespace) -> "SelectionService":
     from ..detectors.base import DEFAULT_MODEL_NAMES
     from ..serving import SelectionService, ServingConfig
 
+    store = SelectorStore(args.store)
     tier = getattr(args, "selector_tier", "teacher")
+    cascade = _resolve_cascade(args, store, args.window)
+    router = None
+    if cascade is not None:
+        router, tier = cascade
     config = ServingConfig(
         window=args.window,
         aggregation=args.aggregation,
@@ -560,9 +699,11 @@ def _make_service(args: argparse.Namespace) -> "SelectionService":
         max_workers=args.workers,
         worker_mode=args.worker_mode,
         selector_tier=tier,
+        latency_slo_ms=getattr(args, "latency_slo_ms", None),
+        memory_budget_mb=getattr(args, "memory_budget_mb", None),
     )
-    selector = _load_tier_selector(SelectorStore(args.store), args.name, tier)
-    return SelectionService(selector, DEFAULT_MODEL_NAMES, config)
+    selector = _load_tier_selector(store, args.name, tier)
+    return SelectionService(selector, DEFAULT_MODEL_NAMES, config, cascade=router)
 
 
 def _cmd_batch_select(args: argparse.Namespace) -> int:
@@ -647,7 +788,13 @@ def _make_stream_engine(args: argparse.Namespace) -> "StreamEngine":
     from ..detectors.base import DEFAULT_MODEL_NAMES
     from ..streaming import DriftConfig, StreamEngine, StreamingConfig
 
+    store = SelectorStore(args.store)
     tier = getattr(args, "selector_tier", "teacher")
+    cascade = _resolve_cascade(args, store, args.window)
+    router = None
+    if cascade is not None:
+        router, tier = cascade
+        args.selector_tier = tier  # refresh parts follow the served tier
     config = StreamingConfig(
         window=args.window,
         stride=args.stride,
@@ -658,10 +805,11 @@ def _make_stream_engine(args: argparse.Namespace) -> "StreamEngine":
         drift=(DriftConfig(threshold=args.drift_threshold)
                if args.drift_threshold is not None else None),
         selector_tier=tier,
+        latency_slo_ms=getattr(args, "latency_slo_ms", None),
+        memory_budget_mb=getattr(args, "memory_budget_mb", None),
     )
     model_set = (make_default_model_set(window=args.detector_window, fast=True)
                  if args.score else None)
-    store = SelectorStore(args.store)
     selector = _load_tier_selector(store, args.name, tier)
     teacher, student, refresh_config = _load_refresh_parts(args, store, selector)
     refresher = None
@@ -672,7 +820,7 @@ def _make_stream_engine(args: argparse.Namespace) -> "StreamEngine":
             teacher, student, refresh_config,
             quantized=selector if isinstance(selector, Int8StudentSelector) else None)
     return StreamEngine(selector, DEFAULT_MODEL_NAMES, config, model_set=model_set,
-                        refresher=refresher)
+                        refresher=refresher, cascade=router)
 
 
 def _format_stream_stats(stats) -> str:
@@ -686,6 +834,8 @@ def _format_stream_stats(stats) -> str:
         ["drift re-selections", stats.drift_triggers],
         ["tail re-scores", stats.tail_rescores],
         ["full re-scores", stats.full_rescores],
+        ["cascade-escalated windows", stats.escalated_windows],
+        ["SLO fallbacks", stats.slo_fallbacks],
     ]
     return format_table(["counter", "value"], rows)
 
@@ -779,8 +929,13 @@ def _make_sharded_service(args: argparse.Namespace, audit=None) -> "ShardedServi
     from ..service import ServiceConfig, ShardedService, make_engine_factory
     from ..streaming import DriftConfig, StreamingConfig
 
-    tier = getattr(args, "selector_tier", "teacher")
     store = SelectorStore(args.store)
+    tier = getattr(args, "selector_tier", "teacher")
+    cascade = _resolve_cascade(args, store, args.window)
+    router = None
+    if cascade is not None:
+        router, tier = cascade
+        args.selector_tier = tier  # refresh parts follow the served tier
     selector = _load_tier_selector(store, args.name, tier)
     config = StreamingConfig(
         window=args.window,
@@ -789,11 +944,14 @@ def _make_sharded_service(args: argparse.Namespace, audit=None) -> "ShardedServi
         drift=(DriftConfig(threshold=args.drift_threshold)
                if args.drift_threshold is not None else None),
         selector_tier=tier,
+        latency_slo_ms=getattr(args, "latency_slo_ms", None),
+        memory_budget_mb=getattr(args, "memory_budget_mb", None),
     )
     teacher, student, refresh_config = _load_refresh_parts(args, store, selector)
     factory = make_engine_factory(selector, DEFAULT_MODEL_NAMES, config,
                                   teacher=teacher, student=student,
-                                  refresh_config=refresh_config)
+                                  refresh_config=refresh_config,
+                                  cascade=router)
     return ShardedService(factory, ServiceConfig(
         n_shards=args.shards, request_timeout_s=args.request_timeout),
         audit=audit)
@@ -871,6 +1029,46 @@ def _frontend_request(host: str, port: int, op: str, **fields: object):
     return response
 
 
+def _cmd_train_cost_model(args: argparse.Namespace) -> int:
+    from ..cascade import CostModel, harvest_cost_observations
+    from ..obs import AuditLog
+
+    events = []
+    for path in args.audit_files:
+        try:
+            events.extend(AuditLog.read(path))
+        except OSError as error:
+            raise SystemExit(str(error))
+        except ValueError as error:
+            raise SystemExit(f"malformed audit log {path}: {error}")
+    observations = harvest_cost_observations(events)
+    if not observations:
+        raise SystemExit("no cost_observation events found — record some by "
+                         "running stream/serve-sharded/batch-select with --audit "
+                         "(add python -X tracemalloc for peak-memory labels)")
+
+    if args.harvest_only:
+        for obs in observations:
+            print(json.dumps(obs.as_dict()))
+        print(f"harvested {len(observations)} cost observations from "
+              f"{len(args.audit_files)} audit file(s)", file=sys.stderr)
+        return 0
+
+    if args.output is None:
+        raise SystemExit("--output is required (or pass --harvest-only)")
+    model = CostModel.fit(observations, window=args.window)
+    model.save(args.output)
+    forwards = sum(1 for o in observations if o.kind == "selector_forward")
+    detections = len(observations) - forwards
+    rows = [[tier, f"{a:.4f}", f"{b:.6f}"]
+            for tier, (a, b) in sorted(model.latency.items())]
+    print(format_table(["tier", "intercept ms", "ms per window"], rows))
+    print(f"fitted cost model on {forwards} forward + {detections} detection "
+          f"observations ({len(model.detector_latency)} detector heads) "
+          f"-> {args.output}")
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     from ..obs import AuditLog, explain_from_audit, format_explain
 
@@ -927,6 +1125,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "stream": _cmd_stream,
     "serve-sharded": _cmd_serve_sharded,
+    "train-cost-model": _cmd_train_cost_model,
     "explain": _cmd_explain,
     "metrics": _cmd_metrics,
     "list-selectors": _cmd_list_selectors,
