@@ -11,7 +11,10 @@ benchmark races the three serving plans on identical per-request traffic:
 * **always-int8**    — every window through the quantized student (the
   latency floor; quality is whatever the student gives),
 * **cascade**        — int8 first, teacher for windows whose top-1
-  margin falls below the calibrated threshold.
+  margin falls below the calibrated threshold,
+* **cascade-int8**   — the same cascade, but escalations run through the
+  **quantized teacher** (``quantize_teacher``) instead of the float one,
+  shrinking the escalation tail that dominates the cascade's p99.
 
 Each plan answers the same query series one request at a time with cold
 caches, giving a per-request latency distribution (p50/p99) and a
@@ -28,7 +31,11 @@ Acceptance (checked by assertions):
 * its window-level agreement with the teacher drops **<= 1 %**
   (agreement >= 0.99),
 * always-int8 stays the latency floor (sanity: cascade is not faster
-  than the tier it starts from, within measurement noise).
+  than the tier it starts from, within measurement noise),
+* escalating to the int8 teacher does not inflate the cascade's p99
+  (the int8 escalation tail is no worse than the float one, within
+  measurement noise) while its window agreement drops **<= 1 %**
+  relative to the float-teacher cascade.
 
 Run modes:
 
@@ -68,7 +75,13 @@ from repro.cascade import (
 from repro.data import generate_series
 from repro.data.records import DATASET_NAMES
 from repro.data.windows import extract_windows
-from repro.distill import DistillConfig, distill_student, quantize_student, selection_agreement
+from repro.distill import (
+    DistillConfig,
+    distill_student,
+    quantize_student,
+    quantize_teacher,
+    selection_agreement,
+)
 from repro.serving import SelectionService, ServingConfig, configure_transform_cache
 from repro.system.reporting import format_table
 
@@ -88,6 +101,13 @@ E2E_SCALE = {
 MIN_CASCADE_SPEEDUP = 2.0
 #: ... while agreeing with the teacher on at least this share of windows
 MIN_CASCADE_AGREEMENT = 0.99
+
+#: int8 escalation may cost at most this much extra p99 (measurement
+#: noise guard — when escalations are rare the two cascades do near-identical
+#: work and best-of-2 cold timings still jitter a few percent)
+MAX_INT8_P99_RATIO = 1.05
+#: ... and may drop window agreement by at most 1 % vs the float cascade
+MAX_INT8_AGREEMENT_DROP = 0.01
 
 #: smoke gate: speedups may regress at most 20 % below the baselines
 REGRESSION_TOLERANCE = 0.8
@@ -109,7 +129,7 @@ def _calibration_windows(scale, e2e_scale):
 
 
 def _build_tiers(scale, tier_scale, e2e_scale):
-    """Teacher -> distilled student -> int8 twin -> calibrated router."""
+    """Teacher -> distilled student -> int8 twins -> calibrated routers."""
     teacher, detector_names = _build_selector(scale)
     config = DistillConfig(epochs=tier_scale["distill_epochs"],
                            features=tier_scale["features"],
@@ -117,6 +137,8 @@ def _build_tiers(scale, tier_scale, e2e_scale):
     transfer = _transfer_windows(scale, tier_scale)
     student, _ = distill_student(teacher, transfer, detector_names, config)
     quantized, _ = quantize_student(student, transfer, min_agreement=0.0)
+    teacher_int8, teacher_gate = quantize_teacher(teacher, transfer,
+                                                  min_agreement=0.0)
 
     calib = _calibration_windows(scale, e2e_scale)
     calibration = calibrate_margin_threshold(
@@ -124,10 +146,16 @@ def _build_tiers(scale, tier_scale, e2e_scale):
         target_agreement=e2e_scale["calibration_target_agreement"])
     router = CascadeRouter.from_calibration(
         teacher, calibration, seed=scale["seed"], window=scale["window"])
-    return teacher, quantized, router, calibration, detector_names
+    # same fast tier, same threshold, same escalation set — only the
+    # selector answering the escalated rows changes
+    router_int8 = CascadeRouter.from_calibration(
+        teacher_int8, calibration, seed=scale["seed"], window=scale["window"],
+        slow_tier="teacher-int8", slow_quality=teacher_gate["agreement"])
+    return (teacher, quantized, router, router_int8, calibration,
+            detector_names)
 
 
-def _make_service(plan, teacher, quantized, router, detector_names, window):
+def _make_service(plan, teacher, quantized, routers, detector_names, window):
     if plan == "always-teacher":
         return SelectionService(teacher, detector_names,
                                 ServingConfig(window=window))
@@ -138,7 +166,7 @@ def _make_service(plan, teacher, quantized, router, detector_names, window):
     return SelectionService(quantized, detector_names,
                             ServingConfig(window=window,
                                           selector_tier="student-int8"),
-                            cascade=router)
+                            cascade=routers[plan])
 
 
 def _per_request_latencies(plan, records, repeats, make_service):
@@ -164,15 +192,16 @@ def run_e2e_slo_benchmark(scale=None, tier_scale=None, e2e_scale=None,
     scale["n_query_series"] = e2e_scale["n_query_series"]
     window = scale["window"]
 
-    teacher, quantized, router, calibration, detector_names = _build_tiers(
-        scale, tier_scale, e2e_scale)
+    (teacher, quantized, router, router_int8, calibration,
+     detector_names) = _build_tiers(scale, tier_scale, e2e_scale)
     records = _query_records(scale)
+    routers = {"cascade": router, "cascade-int8": router_int8}
 
     def make_service(plan):
-        return _make_service(plan, teacher, quantized, router,
+        return _make_service(plan, teacher, quantized, routers,
                              detector_names, window)
 
-    plans = ("always-teacher", "always-int8", "cascade")
+    plans = ("always-teacher", "always-int8", "cascade", "cascade-int8")
     latencies = {
         plan: _per_request_latencies(plan, records, e2e_scale["timing_repeats"],
                                      make_service)
@@ -191,10 +220,15 @@ def run_e2e_slo_benchmark(scale=None, tier_scale=None, e2e_scale=None,
     teacher_proba = teacher.predict_proba(query_windows)
     int8_proba = quantized.predict_proba(query_windows)
     cascade_proba, escalated = router.route(query_windows, int8_proba)
+    cascade_int8_proba, escalated_int8 = router_int8.route(query_windows,
+                                                           int8_proba)
+    assert np.array_equal(escalated, escalated_int8), \
+        "the two cascades must escalate the exact same window rows"
     agreement = {
         "always-teacher": 1.0,
         "always-int8": selection_agreement(int8_proba, teacher_proba),
         "cascade": selection_agreement(cascade_proba, teacher_proba),
+        "cascade-int8": selection_agreement(cascade_int8_proba, teacher_proba),
     }
 
     # admission frontier: fit the cost model from the measured latencies,
@@ -239,6 +273,8 @@ def run_e2e_slo_benchmark(scale=None, tier_scale=None, e2e_scale=None,
         "speedup_p50": {
             plan: teacher_p50 / percentiles[plan]["p50"] for plan in plans
         },
+        "int8_escalation_p99_speedup": (
+            percentiles["cascade"]["p99"] / percentiles["cascade-int8"]["p99"]),
         "frontier": frontier,
     }
 
@@ -255,6 +291,9 @@ def run_e2e_slo_benchmark(scale=None, tier_scale=None, e2e_scale=None,
         print(f"cascade: threshold {calibration.threshold:.4f}  "
               f"escalated {out['escalation_rate']:.1%} of "
               f"{len(query_windows)} query windows")
+        print(f"int8 escalation: p99 {percentiles['cascade-int8']['p99']:.2f} ms "
+              f"vs float {percentiles['cascade']['p99']:.2f} ms "
+              f"({out['int8_escalation_p99_speedup']:.2f}x)")
         frontier_rows = [[f"{f['slo_ms']:.2f}", f["plan"],
                           f"{f['predicted_ms']:.2f}", f"{f['quality']:.4f}",
                           "yes" if f["fallback"] else ""]
@@ -278,6 +317,16 @@ def _assert_e2e_contracts(out):
     assert out["agreement"]["cascade"] >= out["agreement"]["always-int8"] - 1e-12, (
         "escalating windows to the teacher must not lower agreement below "
         "the always-int8 floor")
+    p99 = {plan: out["percentiles"][plan]["p99"]
+           for plan in ("cascade", "cascade-int8")}
+    assert p99["cascade-int8"] <= MAX_INT8_P99_RATIO * p99["cascade"], (
+        f"int8 escalation inflated the cascade p99: "
+        f"{p99['cascade-int8']:.2f} ms vs float {p99['cascade']:.2f} ms "
+        f"(allowed ratio {MAX_INT8_P99_RATIO})")
+    int8_drop = out["agreement"]["cascade"] - out["agreement"]["cascade-int8"]
+    assert int8_drop <= MAX_INT8_AGREEMENT_DROP, (
+        f"int8 escalation dropped window agreement by {int8_drop:.4f} "
+        f"(allowed <= {MAX_INT8_AGREEMENT_DROP})")
     # the frontier must be monotone: a looser SLO never admits a plan of
     # lower predicted quality, and an impossible SLO falls back (flagged)
     qualities = [f["quality"] for f in out["frontier"] if not f["fallback"]]
@@ -306,6 +355,7 @@ def run_smoke(record: bool = False) -> int:
     measured = {
         "cascade_p50_speedup": round(out["speedup_p50"]["cascade"], 3),
         "int8_p50_speedup": round(out["speedup_p50"]["always-int8"], 3),
+        "int8_cascade_p50_speedup": round(out["speedup_p50"]["cascade-int8"], 3),
     }
     print(f"smoke measurements: {json.dumps(measured)}")
 

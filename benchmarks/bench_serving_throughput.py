@@ -13,9 +13,10 @@ benchmark measures all three regimes on the same query set:
 * **warm batched**    — the same batch again, now answered from the cache.
 
 A second benchmark pins the **selector tiers** of ``repro.distill``: the
-teacher is distilled into a float student and a gated int8 student, and
-each tier's forward throughput and selection agreement are measured on
-the same query windows.
+teacher is distilled into a float student and a gated int8 student, the
+teacher itself is quantized into the int8 teacher tier, and each tier's
+forward throughput and selection agreement are measured on the same
+query windows.
 
 Acceptance (checked by assertions):
 
@@ -24,9 +25,12 @@ Acceptance (checked by assertions):
 * warm-cache batched serving is **>= 5x** faster than cold sequential,
 * the int8 student's forward throughput is **>= 3x** the teacher's while
   its per-window selections agree with the teacher on **>= 97 %** of
-  held-out query windows, and
+  held-out query windows,
+* the int8 **teacher** tier clears the same bar — forward throughput
+  **>= 3x** the float teacher at **>= 97 %** window agreement — and
 * the teacher's float64 probabilities are **bitwise identical** before
-  and after distillation (the fast path never perturbs the slow path).
+  and after distillation/quantization (the fast paths never perturb the
+  slow path).
 
 Run modes:
 
@@ -35,8 +39,9 @@ Run modes:
 * ``python benchmarks/bench_serving_throughput.py --smoke`` — CI gate at
   reduced scale: asserts the agreement/bitwise contracts absolutely,
   then compares the measured tier speedups against the
-  ``selector_tiers`` section of ``benchmarks/baselines.json`` and fails
-  on a > 20 % regression.  ``--record`` rewrites that section.
+  ``selector_tiers`` and ``teacher_int8`` sections of
+  ``benchmarks/baselines.json`` and fails on a > 20 % regression.
+  ``--record`` rewrites those sections.
 """
 
 from __future__ import annotations
@@ -54,7 +59,13 @@ from repro.core import TrainerConfig
 from repro.data import build_selector_dataset, generate_series
 from repro.data.records import DATASET_NAMES
 from repro.data.windows import extract_windows
-from repro.distill import DistillConfig, distill_student, quantize_student, selection_agreement
+from repro.distill import (
+    DistillConfig,
+    distill_student,
+    quantize_student,
+    quantize_teacher,
+    selection_agreement,
+)
 from repro.eval import aggregate_window_probas, predict_for_series
 from repro.selectors import make_selector
 from repro.serving import SelectionService, ServingConfig, configure_transform_cache
@@ -224,7 +235,7 @@ def _timed_forward(selector, windows, repeats):
 
 
 def run_selector_tier_benchmark(scale=None, tier_scale=None, verbose=True):
-    """Distill the benchmark teacher and race the three serving tiers."""
+    """Distill + quantize the benchmark teacher and race the four tiers."""
     scale = dict(SERVING_SCALE, **(scale or {}))
     tier_scale = dict(TIER_SCALE, **(tier_scale or {}))
     window = scale["window"]
@@ -244,21 +255,25 @@ def run_selector_tier_benchmark(scale=None, tier_scale=None, verbose=True):
     student, report = distill_student(teacher, transfer, detector_names, config)
     quantized, gate = quantize_student(student, transfer,
                                        min_agreement=MIN_TIER_AGREEMENT)
+    teacher_int8, teacher_gate = quantize_teacher(teacher, transfer,
+                                                  min_agreement=MIN_TIER_AGREEMENT)
 
     repeats = tier_scale["timing_repeats"]
-    tiers = {"teacher": teacher, "student": student, "student-int8": quantized}
+    tiers = {"teacher": teacher, "teacher-int8": teacher_int8,
+             "student": student, "student-int8": quantized}
     probas, times = {}, {}
     for tier, selector in tiers.items():
         probas[tier], times[tier] = _timed_forward(selector, query_windows, repeats)
 
     assert np.array_equal(probas["teacher"], teacher_before), \
-        "distillation perturbed the float64 teacher probabilities"
+        "distillation/quantization perturbed the float64 teacher probabilities"
 
     n_windows = len(query_windows)
     out = {
         "n_windows": n_windows,
         "report": report,
         "gate": gate,
+        "teacher_gate": teacher_gate,
         "throughput": {t: n_windows / dt for t, dt in times.items()},
         "speedup": {t: times["teacher"] / dt for t, dt in times.items()},
         "window_agreement": {
@@ -288,15 +303,19 @@ def run_selector_tier_benchmark(scale=None, tier_scale=None, verbose=True):
               f"student params: {report.student_parameters}  "
               f"int8 gate agreement: {gate['agreement']:.4f} "
               f"(max |dproba| {gate['max_proba_diff']:.4f})")
+        print(f"teacher-int8 gate agreement: {teacher_gate['agreement']:.4f} "
+              f"(max |dproba| {teacher_gate['max_proba_diff']:.4f})  "
+              f"scales hash {teacher_gate['act_scales_hash']}")
     return out
 
 
 def _assert_tier_contracts(out):
     """The scale-independent tier contracts (shared by pytest and smoke)."""
-    assert out["speedup"]["student-int8"] >= MIN_INT8_SPEEDUP, (
-        f"int8 student only {out['speedup']['student-int8']:.2f}x faster than the "
-        f"teacher (need >= {MIN_INT8_SPEEDUP}x)")
-    for tier in ("student", "student-int8"):
+    for tier in ("student-int8", "teacher-int8"):
+        assert out["speedup"][tier] >= MIN_INT8_SPEEDUP, (
+            f"{tier} only {out['speedup'][tier]:.2f}x faster than the "
+            f"teacher (need >= {MIN_INT8_SPEEDUP}x)")
+    for tier in ("student", "student-int8", "teacher-int8"):
         agreement = out["window_agreement"][tier]
         assert agreement >= MIN_TIER_AGREEMENT, (
             f"{tier} agrees with the teacher on only {agreement:.4f} of query "
@@ -324,7 +343,11 @@ def run_smoke(record: bool = False) -> int:
         "int8_speedup": round(out["speedup"]["student-int8"], 3),
         "student_speedup": round(out["speedup"]["student"], 3),
     }
-    print(f"smoke measurements: {json.dumps(measured)}")
+    int8_teacher = {
+        "forward_speedup": round(out["speedup"]["teacher-int8"], 3),
+        "window_agreement": round(out["window_agreement"]["teacher-int8"], 4),
+    }
+    print(f"smoke measurements: {json.dumps({**measured, 'teacher_int8': int8_teacher})}")
 
     if record:
         # merge into the shared baselines file — other benchmarks keep
@@ -336,17 +359,33 @@ def run_smoke(record: bool = False) -> int:
                             "(tier speedups; regenerate with --record)"),
             **measured,
         }
+        baselines_doc["teacher_int8"] = {
+            "description": ("bench_serving_throughput --smoke baselines for the "
+                            "int8 teacher tier (regenerate with --record)"),
+            **int8_teacher,
+        }
         BASELINES_PATH.write_text(json.dumps(baselines_doc, indent=2) + "\n")
         print(f"recorded baselines -> {BASELINES_PATH}")
         return 0
 
-    baselines = json.loads(BASELINES_PATH.read_text())["selector_tiers"]
+    baselines_doc = json.loads(BASELINES_PATH.read_text())
+    baselines = baselines_doc["selector_tiers"]
+    teacher_baselines = baselines_doc.get("teacher_int8", {})
     failures = []
     for key, baseline in measured.items():
         floor = REGRESSION_TOLERANCE * baselines[key]
         if measured[key] < floor:
             failures.append(f"{key}: measured {measured[key]:.2f} < "
                             f"{floor:.2f} (80% of baseline {baselines[key]:.2f})")
+    baseline_speedup = teacher_baselines.get("forward_speedup")
+    if baseline_speedup is None:
+        failures.append("teacher_int8 baselines missing — run with --record")
+    elif int8_teacher["forward_speedup"] < REGRESSION_TOLERANCE * baseline_speedup:
+        failures.append(
+            f"teacher_int8 forward_speedup: measured "
+            f"{int8_teacher['forward_speedup']:.2f} < "
+            f"{REGRESSION_TOLERANCE * baseline_speedup:.2f} "
+            f"(80% of baseline {baseline_speedup:.2f})")
     if failures:
         print("SMOKE REGRESSION:\n  " + "\n  ".join(failures))
         return 1

@@ -41,7 +41,7 @@ from ..obs.metrics import default_registry
 from ..selectors.features import FEATURE_NAMES, extract_features
 
 #: the serving tiers the per-tier cost heads know about
-TIER_NAMES = ("teacher", "student", "student-int8")
+TIER_NAMES = ("teacher", "teacher-int8", "student", "student-int8")
 
 #: names of the cost-feature vector entries (geometry first, then the
 #: per-series statistics catalogue)
@@ -54,6 +54,7 @@ COST_FEATURE_NAMES: List[str] = [
 #: model replaces them, but they keep untrained SLO admission deterministic
 DEFAULT_LATENCY_COEF: Dict[str, Tuple[float, float]] = {
     "teacher": (2.0, 0.250),
+    "teacher-int8": (1.0, 0.070),
     "student": (0.5, 0.030),
     "student-int8": (0.5, 0.025),
 }
@@ -62,6 +63,7 @@ DEFAULT_LATENCY_COEF: Dict[str, Tuple[float, float]] = {
 #: by the float64 window matrix plus per-tier activation working set
 DEFAULT_MEMORY_COEF: Dict[str, Tuple[float, float]] = {
     "teacher": (2.0, 0.0120),
+    "teacher-int8": (1.0, 0.0050),
     "student": (0.5, 0.0015),
     "student-int8": (0.5, 0.0010),
 }

@@ -157,6 +157,8 @@ class CascadeRouter:
         seed: int = 0,
         cost_model: Optional[CostModel] = None,
         fast_tier: str = "student-int8",
+        slow_tier: str = "teacher",
+        slow_quality: float = 1.0,
         predict_batch_size: int = DEFAULT_PREDICT_BATCH_SIZE,
         escalation_rate: float = 0.1,
         kept_agreement: float = 0.995,
@@ -168,6 +170,12 @@ class CascadeRouter:
         self.seed = int(seed)
         self.cost_model = cost_model or CostModel.default(window)
         self.fast_tier = fast_tier
+        #: cost-model tier backing escalations and the "teacher" plan —
+        #: "teacher-int8" swaps the quantized twin in as the slow selector
+        self.slow_tier = slow_tier
+        #: expected teacher-agreement of the slow tier (1.0 for the float
+        #: teacher; the quantize_teacher gate's measured agreement for int8)
+        self.slow_quality = float(slow_quality)
         self.predict_batch_size = predict_batch_size
         #: calibration-time expectations feeding plan quality/cost estimates
         self.escalation_rate = float(min(max(escalation_rate, 0.0), 1.0))
@@ -240,8 +248,10 @@ class CascadeRouter:
         """Predicted ``(ms, mb)`` of running ``n_windows`` under ``plan``."""
         model = self.cost_model
         if plan == "teacher":
-            return (model.predict_latency_ms("teacher", n_windows),
-                    model.predict_memory_mb("teacher", n_windows))
+            # the plan keeps its name; the tier backing it may be the
+            # int8 twin, which is what the cost model prices
+            return (model.predict_latency_ms(self.slow_tier, n_windows),
+                    model.predict_memory_mb(self.slow_tier, n_windows))
         if plan == "fast":
             return (model.predict_latency_ms(self.fast_tier, n_windows),
                     model.predict_memory_mb(self.fast_tier, n_windows))
@@ -257,20 +267,20 @@ class CascadeRouter:
             mb = model.predict_memory_mb(self.fast_tier, n_windows)
             if p_any > 0.0:
                 conditional = escalated / p_any
-                ms += p_any * model.predict_latency_ms("teacher", conditional)
+                ms += p_any * model.predict_latency_ms(self.slow_tier, conditional)
                 # the fast forward and the escalation forward run one after
                 # the other, so peak memory is the larger of the two (sized
                 # by the rows the teacher sees when it does run), not the sum
-                mb = max(mb, model.predict_memory_mb("teacher", conditional))
+                mb = max(mb, model.predict_memory_mb(self.slow_tier, conditional))
             return ms, mb
         raise ValueError(f"unknown plan: {plan!r}")
 
     def plan_quality(self, plan: str) -> float:
-        """Expected teacher-agreement of ``plan`` (teacher ≡ 1.0)."""
+        """Expected teacher-agreement of ``plan`` (float teacher ≡ 1.0)."""
         if plan == "teacher":
-            return 1.0
+            return self.slow_quality
         if plan == "cascade":
-            return (self.escalation_rate
+            return (self.escalation_rate * self.slow_quality
                     + (1.0 - self.escalation_rate) * self.kept_agreement)
         if plan == "fast":
             return self.fast_quality
@@ -315,5 +325,5 @@ class CascadeRouter:
 
     def __repr__(self) -> str:
         return (f"CascadeRouter(threshold={self.threshold}, seed={self.seed}, "
-                f"fast_tier={self.fast_tier!r}, "
+                f"fast_tier={self.fast_tier!r}, slow_tier={self.slow_tier!r}, "
                 f"escalation_rate={self.escalation_rate:.3f})")

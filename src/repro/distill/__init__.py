@@ -21,12 +21,14 @@ See ``docs/performance.md`` (selector tiers) and ``docs/architecture.md``.
 """
 
 from ..selectors.student import Int8StudentSelector, StaticFeatureEncoder, StudentSelector
+from ..selectors.teacher_int8 import Int8TeacherSelector
 from .distiller import (
     DistillConfig,
     DistillReport,
     calibration_split,
     distill_student,
     quantize_student,
+    quantize_teacher,
     selection_agreement,
     sync_quantized,
     teacher_soft_dataset,
@@ -35,8 +37,9 @@ from .refresh import RefreshConfig, RefreshOutcome, StudentRefresher
 
 __all__ = [
     "DistillConfig", "DistillReport", "calibration_split",
-    "distill_student", "quantize_student",
+    "distill_student", "quantize_student", "quantize_teacher",
     "selection_agreement", "sync_quantized", "teacher_soft_dataset",
     "RefreshConfig", "RefreshOutcome", "StudentRefresher",
     "StaticFeatureEncoder", "StudentSelector", "Int8StudentSelector",
+    "Int8TeacherSelector",
 ]

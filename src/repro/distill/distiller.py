@@ -14,6 +14,8 @@ agreement against its own float student) before it is handed back.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -23,7 +25,13 @@ from ..core.config import PISLConfig, TrainerConfig
 from ..data.windows import SelectorDataset
 from ..nn.quant import calibrate_activation_scale
 from ..selectors.base import Selector
+from ..selectors.nn_selector import NNSelector
 from ..selectors.student import Int8StudentSelector, StudentSelector
+from ..selectors.teacher_int8 import (
+    Int8TeacherSelector,
+    conv_fold_plan,
+    named_conv_modules,
+)
 
 
 @dataclass(frozen=True)
@@ -228,6 +236,141 @@ def quantize_student(student: StudentSelector, calibration_windows: np.ndarray,
         "act_scale_classifier": act_scale_clf,
         "n_calibration": len(calibration_windows),
     }
+    return quantized, gate
+
+
+def _calibrate_conv_inputs(teacher: NNSelector, convs, calibration_windows: np.ndarray):
+    """Per-conv input abs-max observed during one float calibration pass.
+
+    Each conv's ``forward`` is shadowed with an instance-level wrapper that
+    records ``max|x|`` of whatever reaches it, the calibration windows are
+    pushed through the float encoder once, and the wrappers are removed
+    again (plain functions bypass ``Module.__setattr__``, so shadowing and
+    ``del`` leave the module registry untouched).  Returns the encoder's
+    output features (reused to calibrate the classifier input scale) and a
+    ``{conv_name: absmax}`` dict.
+    """
+    absmax = {name: 0.0 for name, _ in convs}
+
+    def _shadow(conv, name):
+        orig = conv.forward
+
+        def wrapped(x, *args, **kwargs):
+            data = getattr(x, "data", x)
+            data = np.asarray(data)
+            if data.size:
+                absmax[name] = max(absmax[name], float(np.abs(data).max()))
+            return orig(x, *args, **kwargs)
+
+        conv.forward = wrapped
+
+    for name, conv in convs:
+        _shadow(conv, name)
+    try:
+        features = teacher.encode(calibration_windows)
+    finally:
+        for _, conv in convs:
+            del conv.forward
+    return features, absmax
+
+
+def quantize_teacher(teacher: NNSelector, calibration_windows: np.ndarray,
+                     min_agreement: Optional[float] = 0.97,
+                     ) -> Tuple[Int8TeacherSelector, dict]:
+    """Quantize a conv teacher to int8 behind the dequantize-compare gate.
+
+    Walks the teacher's encoder, calibrates one activation scale per conv
+    input (plus the classifier input) on ``calibration_windows``, builds a
+    structurally identical :class:`Int8TeacherSelector` twin, copies the
+    float state shared by both structures, folds each conv's trailing
+    batch norm into the quantized weights (eval-mode BN is a per-channel
+    affine, absorbed exactly by the per-channel weight scales and bias),
+    quantizes every conv and the classifier, and compares the twin's
+    selections against the float teacher on the same windows.  Raises
+    :class:`ValueError` when agreement falls below ``min_agreement`` (pass
+    ``None`` to skip the gate).
+
+    The returned twin carries a ``quant_provenance`` dict (measured
+    agreement, calibration size, per-tensor activation scales and their
+    hash) that the selector store persists alongside the int8 payload.
+    """
+    calibration_windows = np.asarray(calibration_windows, dtype=np.float64)
+    if calibration_windows.ndim != 2 or len(calibration_windows) == 0:
+        raise ValueError(f"expected a non-empty (n, window) calibration matrix, "
+                         f"got shape {calibration_windows.shape}")
+    if not isinstance(teacher, NNSelector):
+        raise ValueError(f"expected a neural teacher selector, got {type(teacher).__name__}")
+    teacher.build()
+    teacher.train_mode(False)
+
+    from .. import nn
+
+    fold_plan = conv_fold_plan(teacher.encoder)
+    convs = [(name, conv) for name, conv, _ in fold_plan]
+    if not convs:
+        raise ValueError(
+            f"{type(teacher).__name__} encoder has no Conv1d layers; "
+            "use quantize_student for feature-based selectors")
+
+    features, absmax = _calibrate_conv_inputs(teacher, convs, calibration_windows)
+    act_scales = {name: calibrate_activation_scale(np.asarray([absmax[name]]))
+                  for name, _ in convs}
+    act_scale_clf = calibrate_activation_scale(features)
+
+    quantized = Int8TeacherSelector(
+        window=teacher.window, n_classes=teacher.n_classes, seed=teacher.seed,
+        base_type=teacher.name, **teacher.arch_kwargs)
+    quantized.build()
+
+    # shared float state (BN statistics, non-conv parameters): the twin's
+    # state dict drops the float conv leaves and adds quant buffers, so
+    # copy exactly the intersection of the two structures
+    for float_mod, quant_mod in ((teacher.encoder, quantized.encoder),
+                                 (teacher.classifier, quantized.classifier)):
+        target_keys = set(quant_mod.state_dict())
+        shared = {k: v for k, v in float_mod.state_dict().items() if k in target_keys}
+        quant_mod.load_state_dict(shared)
+
+    quant_convs = dict(named_conv_modules(quantized.encoder, conv_types=(nn.QuantizedConv1d,)))
+    for name, conv, bn in fold_plan:
+        weight = np.asarray(conv.weight.data, dtype=np.float64)
+        bias = (np.asarray(conv.bias.data, dtype=np.float64) if conv.bias is not None
+                else np.zeros(conv.out_channels, dtype=np.float64))
+        if bn is not None:
+            gain = np.asarray(bn.weight.data, dtype=np.float64) / np.sqrt(
+                np.asarray(bn.running_var, dtype=np.float64) + bn.eps)
+            weight = weight * gain[:, None, None]
+            bias = (bias - np.asarray(bn.running_mean, dtype=np.float64)) * gain \
+                + np.asarray(bn.bias.data, dtype=np.float64)
+        quant_convs[name].load_weights(weight, bias, act_scales[name])
+    quantized.classifier.load_weights(teacher.classifier.weight.data,
+                                      teacher.classifier.bias.data, act_scale_clf)
+
+    proba_float = teacher.predict_proba(calibration_windows)
+    proba_int8 = quantized.predict_proba(calibration_windows)
+    agreement = selection_agreement(proba_float, proba_int8)
+    max_diff = float(np.abs(proba_float - proba_int8).max())
+    if min_agreement is not None and agreement < min_agreement:
+        raise ValueError(
+            f"quantized teacher agrees with the float teacher on only "
+            f"{agreement:.4f} of {len(calibration_windows)} calibration windows "
+            f"(gate: {min_agreement}); max |Δproba| = {max_diff:.4f}"
+        )
+    all_scales = dict(act_scales)
+    all_scales["classifier"] = act_scale_clf
+    scales_blob = json.dumps({k: repr(v) for k, v in sorted(all_scales.items())},
+                             sort_keys=True).encode()
+    gate = {
+        "agreement": agreement,
+        "max_proba_diff": max_diff,
+        "n_calibration": len(calibration_windows),
+        "act_scales": all_scales,
+        "act_scales_hash": hashlib.blake2b(scales_blob, digest_size=8).hexdigest(),
+        "base_type": teacher.name,
+        "n_quantized_convs": len(convs),
+        "n_folded_bns": sum(1 for _, _, bn in fold_plan if bn is not None),
+    }
+    quantized.quant_provenance = dict(gate)
     return quantized, gate
 
 

@@ -41,6 +41,7 @@ from .losses import (
 )
 from .optim import SGD, Adam, AdamW, CosineAnnealingLR, LRScheduler, Optimizer, StepLR
 from .quant import (
+    QuantizedConv1d,
     QuantizedLinear,
     calibrate_activation_scale,
     quantize_weight_per_channel,
@@ -59,6 +60,7 @@ __all__ = [
     "CrossEntropyLoss", "InfoNCELoss", "MSELoss", "SoftCrossEntropyLoss",
     "cross_entropy", "info_nce", "mse_loss", "soft_cross_entropy",
     "SGD", "Adam", "AdamW", "CosineAnnealingLR", "LRScheduler", "Optimizer", "StepLR",
-    "QuantizedLinear", "calibrate_activation_scale", "quantize_weight_per_channel",
+    "QuantizedConv1d", "QuantizedLinear",
+    "calibrate_activation_scale", "quantize_weight_per_channel",
     "load_state", "save_state", "functional", "init",
 ]

@@ -37,6 +37,24 @@ def _margin(votes: Dict[str, float]) -> Dict[str, object]:
     return {"margin": float(ranked[0][1] - ranked[1][1]), "runner_up": ranked[1][0]}
 
 
+#: gate fields surfaced when an int8 tier (served or escalation) is live
+_QUANT_SUMMARY_KEYS = ("agreement", "act_scales_hash", "n_calibration",
+                       "base_type", "n_quantized_convs", "n_folded_bns")
+
+
+def _quantization_block(engine) -> Optional[Dict[str, object]]:
+    """Quantization provenance of whichever int8 selector is in the path:
+    the served selector, or the cascade's slow (escalation) selector."""
+    served = getattr(getattr(engine, "streaming_selector", None), "selector", None)
+    slow = getattr(getattr(engine, "cascade", None), "slow_selector", None)
+    for selector in (served, slow):
+        provenance = getattr(selector, "quant_provenance", None)
+        if provenance:
+            return {key: provenance[key] for key in _QUANT_SUMMARY_KEYS
+                    if key in provenance}
+    return None
+
+
 def explain_stream(engine, stream_id: str) -> Dict[str, object]:
     """Explain a live stream's current selection from the engine state."""
     if stream_id not in engine:
@@ -85,6 +103,7 @@ def explain_stream(engine, stream_id: str) -> Dict[str, object]:
         **_margin(votes),
         "drift": drift,
         "cascade": cascade,
+        "quantization": _quantization_block(engine),
     }
 
 
@@ -106,6 +125,7 @@ def _cascade_block(last: Optional[Dict[str, object]],
         "enabled": True,
         "stage": stage,
         "plan": plan,
+        "slow_tier": last.get("slow_tier", "teacher"),
         "escalated_windows": escalated,
         "n_new_windows": int(last.get("n_new_windows") or last.get("n_windows") or 0),
         "escalated_total": int(escalated_total),
@@ -209,10 +229,20 @@ def format_explain(info: Dict[str, object]) -> str:
                 cost_bits.append(f"predicted {cascade['predicted_mb']:.2f} MB")
             lines.append(
                 f"cascade: stage {cascade['stage']} (plan {cascade.get('plan')}"
+                + (f", slow tier {cascade['slow_tier']}"
+                   if cascade.get("slow_tier") not in (None, "teacher") else "")
                 + (", SLO fallback" if cascade.get("fallback") else "")
                 + f")  escalated {cascade.get('escalated_windows', 0)}"
                 f"/{cascade.get('n_new_windows', 0)} new windows "
                 f"({cascade.get('escalated_total', 0)} total)  "
                 f"min margin {margin_txt} vs threshold {threshold_txt}"
                 + (f"  cost: {', '.join(cost_bits)}" if cost_bits else ""))
+    quant = info.get("quantization")
+    if quant:
+        lines.append(
+            f"quantization: agreement {float(quant.get('agreement', 0.0)):.4f} "
+            f"on {quant.get('n_calibration', 0)} calibration windows  "
+            f"scales hash {quant.get('act_scales_hash', '-')}  "
+            f"({quant.get('n_quantized_convs', 0)} int8 convs, "
+            f"{quant.get('n_folded_bns', 0)} folded norms)")
     return "\n".join(lines)

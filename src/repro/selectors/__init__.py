@@ -39,6 +39,7 @@ from .classical import (
 from .ensemble_selector import SelectorEnsemble
 from .rocket import RocketFeatureTransform, RocketSelector
 from .student import Int8StudentSelector, StaticFeatureEncoder, StudentSelector
+from .teacher_int8 import Int8TeacherSelector
 
 __all__ = [
     "Selector", "make_selector", "register_selector", "selector_names",
@@ -53,4 +54,5 @@ __all__ = [
     "RocketFeatureTransform", "RocketSelector",
     "SelectorEnsemble",
     "StaticFeatureEncoder", "StudentSelector", "Int8StudentSelector",
+    "Int8TeacherSelector",
 ]

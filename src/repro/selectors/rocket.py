@@ -39,7 +39,54 @@ class RocketFeatureTransform:
         self._kernels = kernels
         return self
 
+    def _effective_dilation(self, klen: int, dilation: int, length: int) -> int:
+        """Dilation after clamping kernels whose span overruns the window."""
+        if (klen - 1) * dilation + 1 > length:
+            return max(1, (length - 1) // (klen - 1))
+        return dilation
+
     def transform(self, windows: np.ndarray) -> np.ndarray:
+        """Grouped im2col transform.
+
+        Kernels sharing ``(length, effective dilation)`` read the exact
+        same patch matrix, so the expensive gather runs once per group
+        (a dozen groups versus hundreds of kernels) instead of once per
+        kernel.  Each kernel still applies as its own matrix–vector
+        product over the shared patches — the same operands in the same
+        order as the per-kernel reference loop, so the features are
+        bitwise identical to :meth:`_transform_per_kernel` (a grouped
+        multi-kernel GEMM would not be: BLAS changes its summation order
+        with the operand shape).
+        """
+        if self._kernels is None:
+            raise RuntimeError("transform must be fitted before use")
+        x = np.asarray(windows, dtype=np.float64)
+        n, length = x.shape
+        features = np.zeros((n, 2 * self.n_kernels))
+        groups: dict = {}
+        for k, (weights, _, dilation) in enumerate(self._kernels):
+            klen = len(weights)
+            groups.setdefault(
+                (klen, self._effective_dilation(klen, dilation, length)), []).append(k)
+        for (klen, dilation), kernel_ids in groups.items():
+            span = (klen - 1) * dilation + 1
+            idx = np.arange(klen) * dilation
+            out_len = length - span + 1
+            positions = idx[None, :] + np.arange(out_len)[:, None]
+            patches = x[:, positions]  # (n, out_len, klen) — shared gather
+            for k in kernel_ids:
+                weights, bias, _ = self._kernels[k]
+                conv = patches @ weights + bias  # (n, out_len)
+                features[:, 2 * k] = (conv > 0).mean(axis=1)
+                features[:, 2 * k + 1] = conv.max(axis=1)
+        return features
+
+    def _transform_per_kernel(self, windows: np.ndarray) -> np.ndarray:
+        """Reference implementation: one gather + matvec per kernel.
+
+        Kept as the ground truth for the bitwise regression test of the
+        grouped :meth:`transform` above.
+        """
         if self._kernels is None:
             raise RuntimeError("transform must be fitted before use")
         x = np.asarray(windows, dtype=np.float64)
@@ -47,10 +94,8 @@ class RocketFeatureTransform:
         features = np.zeros((n, 2 * self.n_kernels))
         for k, (weights, bias, dilation) in enumerate(self._kernels):
             klen = len(weights)
+            dilation = self._effective_dilation(klen, dilation, length)
             span = (klen - 1) * dilation + 1
-            if span > length:
-                dilation = max(1, (length - 1) // (klen - 1))
-                span = (klen - 1) * dilation + 1
             idx = np.arange(klen) * dilation
             out_len = length - span + 1
             positions = idx[None, :] + np.arange(out_len)[:, None]

@@ -290,9 +290,10 @@ class SelectionService:
                                   n_windows=len(windows), **decision.as_dict())
 
         n_escalated, min_margin = 0, None
+        slow_tier = getattr(self.cascade, "slow_tier", "teacher")
         if decision.plan == "teacher":
             proba = self._measured_forward(
-                lambda: self.cascade.forward_slow(windows), "teacher", len(windows))
+                lambda: self.cascade.forward_slow(windows), slow_tier, len(windows))
         else:
             proba = self._measured_forward(
                 lambda: self._predict_proba(windows),
@@ -306,11 +307,12 @@ class SelectionService:
                     proba = np.array(proba, dtype=np.float64, copy=True)
                     proba[mask] = self._measured_forward(
                         lambda: self.cascade.forward_slow(windows[mask]),
-                        "teacher", int(mask.sum()))
+                        slow_tier, int(mask.sum()))
                     n_escalated = int(mask.sum())
                     self._escalated_windows.inc(n_escalated)
         self.last_cascade = {
             "plan": decision.plan,
+            "slow_tier": slow_tier,
             "escalated_windows": n_escalated,
             "n_windows": len(windows),
             "threshold": float(self.cascade.threshold),

@@ -376,6 +376,7 @@ class StreamEngine:
                 # for explain; it never feeds a routing decision
                 state.last_cascade = {
                     "plan": decision.plan,
+                    "slow_tier": getattr(self.cascade, "slow_tier", "teacher"),
                     "escalated_windows": escalated[idx],
                     "n_new_windows": counts[idx],
                     "threshold": float(self.cascade.threshold),
@@ -497,10 +498,11 @@ class StreamEngine:
             return self._measured_forward(
                 lambda: self.streaming_selector.predict_proba(stacked),
                 self.config.selector_tier, len(stacked)), None, None
+        slow_tier = getattr(self.cascade, "slow_tier", "teacher")
         if decision.plan == "teacher":
             return self._measured_forward(
                 lambda: self.cascade.forward_slow(stacked),
-                "teacher", len(stacked)), None, None
+                slow_tier, len(stacked)), None, None
         fast = self._measured_forward(
             lambda: self.streaming_selector.predict_proba(stacked),
             self.config.selector_tier, len(stacked))
@@ -515,7 +517,7 @@ class StreamEngine:
         proba = np.array(fast, dtype=np.float64, copy=True)
         proba[mask] = self._measured_forward(
             lambda: self.cascade.forward_slow(stacked[mask]),
-            "teacher", int(mask.sum()))
+            slow_tier, int(mask.sum()))
         self._escalated_windows.inc(int(mask.sum()))
         return proba, mask, fast_margins
 

@@ -97,7 +97,8 @@ def _apply_runtime_args(args: argparse.Namespace) -> None:
 
 
 #: suffix appended to a teacher's store name per serving tier
-_TIER_SUFFIX = {"teacher": "", "student": "-student", "student-int8": "-student-int8"}
+_TIER_SUFFIX = {"teacher": "", "teacher-int8": "-int8",
+                "student": "-student", "student-int8": "-student-int8"}
 
 
 def _tier_name(name: str, tier: str) -> str:
@@ -113,6 +114,11 @@ def _load_tier_selector(store: SelectorStore, name: str, tier: str):
     except KeyError:
         if tier == "teacher":
             raise SystemExit(f"no stored selector named {name!r}")
+        if tier == "teacher-int8":
+            raise SystemExit(
+                f"no stored selector named {stored!r} — run the "
+                f"quantize-teacher command on {name!r} first to produce "
+                f"the int8 teacher tier")
         raise SystemExit(
             f"no stored selector named {stored!r} — run the distill command "
             f"on {name!r} first to produce the {tier} tier")
@@ -120,9 +126,11 @@ def _load_tier_selector(store: SelectorStore, name: str, tier: str):
 
 def _add_tier_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--selector-tier", default="teacher",
-                        choices=["teacher", "student", "student-int8"],
-                        help="serve the named selector itself (teacher) or its "
-                             "distilled companion NAME-student / NAME-student-int8 "
+                        choices=["teacher", "teacher-int8", "student", "student-int8"],
+                        help="serve the named selector itself (teacher), its "
+                             "quantized twin NAME-int8 produced by the "
+                             "quantize-teacher command, or its distilled "
+                             "companion NAME-student / NAME-student-int8 "
                              "produced by the distill command")
 
 
@@ -134,7 +142,9 @@ def _add_cascade_args(parser: argparse.ArgumentParser) -> None:
                             "answers windows whose top-1 margin clears the "
                             "calibrated threshold, the rest escalate to the "
                             "teacher (uses NAME-student-int8 unless "
-                            "--selector-tier picks the float student)")
+                            "--selector-tier picks the float student; "
+                            "--selector-tier teacher-int8 escalates to the "
+                            "quantized teacher NAME-int8 instead)")
     group.add_argument("--cascade-threshold", type=float, default=None,
                        help="margin threshold override (default: the value "
                             "calibrated by the distill command, else 0.1)")
@@ -235,6 +245,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "threshold calibrated on the held-out windows "
                               "(stamped on each tier's store metadata)")
     distill.add_argument("--seed", type=int, default=0)
+
+    quantize = sub.add_parser("quantize-teacher",
+                              help="quantize a stored teacher's conv encoder to "
+                                   "int8 and save it as the NAME-int8 tier")
+    quantize.add_argument("data_dir", type=Path,
+                          help="directory of series used as the calibration set")
+    quantize.add_argument("--store", type=Path, default=Path("selector_store"))
+    quantize.add_argument("--name", required=True,
+                          help="teacher selector name; the quantized twin is "
+                               "saved as NAME-int8")
+    quantize.add_argument("--window", type=int, default=96)
+    quantize.add_argument("--stride", type=int, default=48)
+    quantize.add_argument("--min-agreement", type=float, default=0.97,
+                          help="int8-vs-teacher selection agreement the "
+                               "quantized teacher must reach (the "
+                               "dequantize-compare gate)")
 
     evaluate = sub.add_parser("evaluate", help="evaluate a stored selector on labelled series")
     evaluate.add_argument("data_dir", type=Path)
@@ -582,6 +608,41 @@ def _cmd_distill(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_quantize_teacher(args: argparse.Namespace) -> int:
+    from ..distill import quantize_teacher
+
+    try:
+        records = load_series_directory(args.data_dir)
+    except (FileNotFoundError, NotADirectoryError) as error:
+        raise SystemExit(f"no such directory: {error}")
+    except (OSError, ValueError) as error:
+        raise SystemExit(str(error))
+    store = SelectorStore(args.store)
+    teacher = _load_tier_selector(store, args.name, "teacher")
+    windows = np.vstack([extract_windows(record.series, args.window, stride=args.stride)
+                         for record in records])
+    try:
+        quantized, gate = quantize_teacher(teacher, windows,
+                                           min_agreement=args.min_agreement)
+    except ValueError as error:
+        raise SystemExit(f"quantization gate failed: {error}")
+
+    store.save(_tier_name(args.name, "teacher-int8"), quantized,
+               metadata={"teacher": args.name, "window": str(args.window)},
+               overwrite=True)
+    rows = [
+        ["calibration windows", gate["n_calibration"]],
+        ["quantized convs", gate["n_quantized_convs"]],
+        ["folded batch norms", gate["n_folded_bns"]],
+        ["int8 vs teacher agreement", f"{gate['agreement']:.4f}"],
+        ["int8 max |dproba|", f"{gate['max_proba_diff']:.4f}"],
+        ["activation scales hash", gate["act_scales_hash"]],
+    ]
+    print(format_table(["quantization", "value"], rows))
+    print(f"saved {_tier_name(args.name, 'teacher-int8')!r} to {args.store}")
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     records, matrix, detector_names = _load_labelled(args.data_dir, args.performance)
     selector = SelectorStore(args.store).load(args.name)
@@ -640,8 +701,11 @@ def _resolve_cascade(args: argparse.Namespace, store: SelectorStore, window: int
     Returns ``(router, serving_tier)``: with the cascade on, the serving
     selector is the *fast* tier — ``--selector-tier student`` keeps the
     float student, anything else serves the int8 twin — and the router
-    carries the teacher for escalations.  The margin threshold resolves
-    ``--cascade-threshold`` → distill-calibrated store metadata → default.
+    carries the slow tier for escalations: the float teacher, unless
+    ``--selector-tier teacher-int8`` swaps in the quantized teacher (its
+    gate-measured agreement becomes the plan quality the SLO admission
+    prices).  The margin threshold resolves ``--cascade-threshold`` →
+    distill-calibrated store metadata → default.
     """
     slo_given = (getattr(args, "latency_slo_ms", None) is not None
                  or getattr(args, "memory_budget_mb", None) is not None)
@@ -653,7 +717,16 @@ def _resolve_cascade(args: argparse.Namespace, store: SelectorStore, window: int
 
     tier = getattr(args, "selector_tier", "teacher")
     fast_tier = tier if tier in ("student", "student-int8") else "student-int8"
-    teacher = _load_tier_selector(store, args.name, "teacher")
+    slow_tier = "teacher-int8" if tier == "teacher-int8" else "teacher"
+    teacher = _load_tier_selector(store, args.name, slow_tier)
+    slow_quality = 1.0
+    if slow_tier != "teacher":
+        try:
+            quant_meta = store.info(_tier_name(args.name, slow_tier)).metadata or {}
+        except KeyError:
+            quant_meta = {}
+        slow_quality = _meta_float(quant_meta.get("quantization", {}) or {},
+                                   "agreement", 1.0)
     _load_tier_selector(store, args.name, fast_tier)  # fail early, helpfully
     try:
         metadata = dict(store.info(_tier_name(args.name, fast_tier)).metadata or {})
@@ -674,6 +747,8 @@ def _resolve_cascade(args: argparse.Namespace, store: SelectorStore, window: int
         seed=args.cascade_seed,
         cost_model=cost_model,
         fast_tier=fast_tier,
+        slow_tier=slow_tier,
+        slow_quality=slow_quality,
         escalation_rate=_meta_float(metadata, "cascade_escalation_rate", 0.1),
         kept_agreement=_meta_float(metadata, "cascade_kept_agreement", 0.995),
         fast_quality=_meta_float(metadata, "cascade_overall_agreement", 0.97),
@@ -1118,6 +1193,7 @@ _COMMANDS = {
     "label": _cmd_label,
     "train": _cmd_train,
     "distill": _cmd_distill,
+    "quantize-teacher": _cmd_quantize_teacher,
     "evaluate": _cmd_evaluate,
     "select": _cmd_select,
     "detect": _cmd_detect,

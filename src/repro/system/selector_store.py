@@ -57,12 +57,24 @@ class SelectorStore:
             shutil.rmtree(entry)
         entry.mkdir(parents=True)
 
+        merged = dict(metadata or {})
+        provenance = getattr(selector, "quant_provenance", None)
+        if provenance and "quantization" not in merged:
+            # compact manifest form: enough to audit the int8 payload
+            # (the full per-conv scale table rides in encoder.npz metadata)
+            merged["quantization"] = {
+                key: provenance[key]
+                for key in ("agreement", "act_scales_hash", "n_calibration",
+                            "base_type", "n_quantized_convs", "n_folded_bns")
+                if key in provenance
+            }
+
         info = StoredSelectorInfo(
             name=name,
             selector_type=selector.name,
             is_neural=isinstance(selector, NNSelector),
             created_at=datetime.now(timezone.utc).isoformat(),
-            metadata=dict(metadata or {}),
+            metadata=merged,
         )
 
         if isinstance(selector, NNSelector):
@@ -74,7 +86,8 @@ class SelectorStore:
                 "arch_kwargs": selector.arch_kwargs,
             }
             (entry / "architecture.json").write_text(json.dumps(arch, indent=2))
-            nn.save_state(selector.encoder, entry / "encoder.npz")
+            nn.save_state(selector.encoder, entry / "encoder.npz",
+                          metadata={"quant_provenance": provenance} if provenance else None)
             nn.save_state(selector.classifier, entry / "classifier.npz")
         else:
             with open(entry / "model.pkl", "wb") as handle:
@@ -106,8 +119,10 @@ class SelectorStore:
             )
             assert isinstance(selector, NNSelector)
             selector.build()
-            nn.load_state(selector.encoder, entry / "encoder.npz")
+            state_meta = nn.load_state(selector.encoder, entry / "encoder.npz")
             nn.load_state(selector.classifier, entry / "classifier.npz")
+            if state_meta.get("quant_provenance"):
+                selector.quant_provenance = state_meta["quant_provenance"]
             return selector
 
         with open(entry / "model.pkl", "rb") as handle:

@@ -24,16 +24,19 @@ from repro.distill import (
     calibration_split,
     distill_student,
     quantize_student,
+    quantize_teacher,
     selection_agreement,
     sync_quantized,
     teacher_soft_dataset,
 )
 from repro.nn.quant import (
     INT8_LEVELS,
+    QuantizedConv1d,
     QuantizedLinear,
     calibrate_activation_scale,
     quantize_weight_per_channel,
 )
+from repro.selectors.teacher_int8 import conv_fold_plan, named_conv_modules
 from repro.obs import AuditLog
 from repro.selectors import make_selector
 from repro.selectors.features import (
@@ -557,4 +560,277 @@ class TestDistillCLI:
                      "--name", "m", "--selector-tier", "student-int8",
                      "--refresh-min-agreement", "0.5", "--window", "64",
                      "--stride", "32", "--drift-threshold", "0.5"]) == 0
+        assert "selected" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# int8 conv kernels + the 2**24 exact-accumulation boundary
+# --------------------------------------------------------------------------- #
+def _conv_integer_reference(module, x):
+    """Integer im2col reference for QuantizedConv1d (int64, always exact)."""
+    s = float(module.act_scale[0])
+    q = np.clip(np.rint(np.asarray(x, dtype=np.float64) / s), -INT8_LEVELS, INT8_LEVELS)
+    if module.padding:
+        n, c, length = q.shape
+        padded = np.zeros((n, c, length + 2 * module.padding))
+        padded[:, :, module.padding:module.padding + length] = q
+        q = padded
+    n, _, length = q.shape
+    span = (module.kernel_size - 1) * module.dilation + 1
+    l_out = (length - span) // module.stride + 1
+    weights = module.weight_q.astype(np.int64)
+    out = np.zeros((n, module.out_channels, l_out), dtype=np.int64)
+    for t in range(l_out):
+        start = t * module.stride
+        patch = q[:, :, start:start + span:module.dilation].astype(np.int64)
+        out[:, :, t] = np.einsum("nck,ock->no", patch, weights)
+    return out
+
+
+def _exact_int8_conv(in_channels, kernel_size, rng, stride=1):
+    """A QuantizedConv1d whose scales are exactly 1.0 and bias is zero, so
+    its forward output IS the raw integer accumulator — the dequantization
+    multiplies by 1.0, which is exact on every path."""
+    conv = QuantizedConv1d(in_channels, 4, kernel_size, stride=stride)
+    weight = rng.integers(-INT8_LEVELS, INT8_LEVELS + 1,
+                          size=(4, in_channels, kernel_size)).astype(np.float64)
+    weight[0] = INT8_LEVELS          # the extreme row: every product maximal
+    weight[:, 0, 0] = INT8_LEVELS    # pin per-row absmax so scale == 1.0
+    conv.load_weights(weight, None, act_scale=1.0)
+    assert np.all(conv.weight_scale == 1.0)
+    return conv
+
+
+def _boundary_input(in_channels, length, rng):
+    x = rng.integers(-INT8_LEVELS, INT8_LEVELS + 1,
+                     size=(3, in_channels, length)).astype(np.float64)
+    x[0] = INT8_LEVELS  # one sample of all-max levels hits the peak sum
+    return x
+
+
+class TestQuantConvBoundary:
+    """QuantizedConv1d at and one above the exact-float32 product limit.
+
+    ``reduction * 127 * 127 < 2**24`` holds for ``reduction == 1040`` (the
+    widest exact-float32 reduction) and fails at 1041, where the int32
+    fallback must engage.  With unit scales the forward output equals the
+    raw accumulator, so integer equality against an int64 reference is a
+    bit-for-bit check of both paths — the all-max input row sums to
+    16 790 289 > 2**24 at 1041, which a float32 accumulator could not
+    represent.
+    """
+
+    def test_conv_at_exact_f32_limit(self, rng):
+        conv = _exact_int8_conv(130, 8, rng)  # reduction 1040: float32 GEMM
+        x = _boundary_input(130, 12, rng)
+        y = conv.forward(x).numpy()
+        assert np.array_equal(y, _conv_integer_reference(conv, x))
+
+    def test_conv_one_above_limit_falls_back_to_int32(self, rng):
+        conv = _exact_int8_conv(347, 3, rng)  # reduction 1041: int32 matmul
+        x = _boundary_input(347, 8, rng)
+        y = conv.forward(x).numpy()
+        reference = _conv_integer_reference(conv, x)
+        assert int(reference.max()) > 2 ** 24  # the boundary is actually hit
+        assert np.array_equal(y, reference)
+
+    def test_strided_conv_at_limit_uses_im2col_path(self, rng):
+        conv = _exact_int8_conv(130, 8, rng, stride=2)  # stride 2: gather path
+        x = _boundary_input(130, 17, rng)
+        y = conv.forward(x).numpy()
+        assert np.array_equal(y, _conv_integer_reference(conv, x))
+
+    def test_conv_matches_float_conv_within_quantization_error(self, rng):
+        """Geometry check: padding/stride/dilation agree with the float conv
+        up to the bounded quantization error."""
+        float_conv = nn.Conv1d(3, 5, 5, stride=2, padding=3, dilation=2)
+        quant = QuantizedConv1d.from_conv1d(float_conv, act_scale=0.05)
+        x = rng.normal(size=(4, 3, 40))
+        expected = float_conv(nn.Tensor(x)).numpy()
+        actual = quant.forward(x).numpy()
+        assert actual.shape == expected.shape
+        assert np.abs(actual - expected).max() < 0.2
+
+    def test_chunking_and_composition_independence(self, rng):
+        conv = _exact_int8_conv(6, 7, rng)
+        x = rng.normal(scale=40.0, size=(20, 6, 32))
+        full = conv.forward(x).numpy()
+        parts = np.concatenate([conv.forward(x[i:i + 3]).numpy()
+                                for i in range(0, 20, 3)])
+        shuffled = conv.forward(x[::-1]).numpy()[::-1]
+        assert np.array_equal(full, parts)
+        assert np.array_equal(full, shuffled)
+
+
+class TestQuantLinearBoundary:
+    """QuantizedLinear's float32 path at the limit vs the int32 fallback.
+
+    Both paths share one float64 dequantization, so an exact-integer
+    float64 matmul (products ≤ 127², partial sums ≪ 2**53) is a
+    path-independent ground truth to compare bit-for-bit against.
+    """
+
+    @staticmethod
+    def _reference(module, x):
+        s = float(module.act_scale[0])
+        q_x = np.clip(np.rint(np.asarray(x, dtype=np.float64) / s),
+                      -INT8_LEVELS, INT8_LEVELS)
+        acc = q_x @ module.weight_q.astype(np.float64).T
+        return acc * (s * module.weight_scale)[None, :] + module.bias
+
+    def _boundary_linear(self, in_features, rng):
+        linear = QuantizedLinear(in_features, 4)
+        weight = rng.normal(size=(4, in_features))
+        weight[0] = np.abs(weight[0].max())  # one uniform row maximises sums
+        linear.load_weights(weight, rng.normal(size=4), act_scale=0.05)
+        x = 0.05 * rng.integers(-INT8_LEVELS, INT8_LEVELS + 1,
+                                size=(5, in_features)).astype(np.float64)
+        x[0] = 0.05 * INT8_LEVELS
+        return linear, x
+
+    def test_linear_at_exact_f32_limit(self, rng):
+        linear, x = self._boundary_linear(1040, rng)
+        assert np.array_equal(linear.forward(x).numpy(), self._reference(linear, x))
+
+    def test_linear_one_above_limit_falls_back_to_int32(self, rng):
+        linear, x = self._boundary_linear(1041, rng)
+        assert np.array_equal(linear.forward(x).numpy(), self._reference(linear, x))
+
+
+# --------------------------------------------------------------------------- #
+# teacher quantization (quantize_teacher + Int8TeacherSelector)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def quantized_teacher(distill_world):
+    quantized, gate = quantize_teacher(distill_world["teacher"],
+                                       distill_world["transfer"][:160],
+                                       min_agreement=None)
+    return quantized, gate
+
+
+class TestQuantizeTeacher:
+    def test_structure_is_fully_quantized(self, quantized_teacher, distill_world):
+        quantized, gate = quantized_teacher
+        convs = named_conv_modules(quantized.encoder, conv_types=(QuantizedConv1d,))
+        plan = conv_fold_plan(distill_world["teacher"].encoder)
+        assert len(convs) == len(plan) == gate["n_quantized_convs"]
+        assert all(conv.weight_q.dtype == np.int8 for _, conv in convs)
+        assert isinstance(quantized.classifier, QuantizedLinear)
+        # every ConvBlock/ResidualBlock norm folds; merged-output norms stay
+        assert gate["n_folded_bns"] == sum(1 for _, _, bn in plan if bn is not None) > 0
+
+    def test_gate_measures_agreement(self, quantized_teacher, distill_world):
+        quantized, gate = quantized_teacher
+        proba_float = distill_world["teacher"].predict_proba(distill_world["transfer"][:160])
+        proba_int8 = quantized.predict_proba(distill_world["transfer"][:160])
+        assert gate["agreement"] == selection_agreement(proba_float, proba_int8)
+        assert gate["agreement"] >= 0.97
+        assert gate["n_calibration"] == 160
+        assert set(gate["act_scales"]) > {"classifier"}
+        assert len(gate["act_scales_hash"]) == 16
+
+    def test_gate_raises_below_min_agreement(self, distill_world):
+        with pytest.raises(ValueError, match="agrees with the float teacher"):
+            quantize_teacher(distill_world["teacher"],
+                             distill_world["transfer"][:40], min_agreement=1.1)
+
+    def test_rejects_convless_selectors(self, distill_world):
+        mlp = make_selector("MLP", window=64, n_classes=4, seed=0)
+        mlp.build()
+        with pytest.raises(ValueError, match="no Conv1d"):
+            quantize_teacher(mlp, distill_world["transfer"][:20], min_agreement=None)
+
+    def test_teacher_is_bitwise_untouched(self, distill_world):
+        teacher = distill_world["teacher"]
+        before = teacher.predict_proba(distill_world["query"][:30])
+        quantize_teacher(teacher, distill_world["transfer"][:60], min_agreement=None)
+        assert np.array_equal(before, teacher.predict_proba(distill_world["query"][:30]))
+
+    def test_predict_is_chunk_and_batch_size_independent(self, quantized_teacher, distill_world):
+        quantized, _ = quantized_teacher
+        windows = distill_world["query"][:90]
+        full = quantized.predict_proba(windows)
+        chunked = np.vstack([quantized.predict_proba(windows[i:i + 37])
+                             for i in range(0, len(windows), 37)])
+        small_batch = quantized.predict_proba(windows, batch_size=16)
+        assert np.array_equal(full, chunked)
+        assert np.array_equal(full, small_batch)
+
+    def test_fit_raises(self, quantized_teacher):
+        quantized, _ = quantized_teacher
+        with pytest.raises(RuntimeError, match="inference-only"):
+            quantized.fit(None)
+
+    def test_store_round_trip_is_bitwise_with_provenance(self, quantized_teacher,
+                                                         distill_world, tmp_path):
+        quantized, gate = quantized_teacher
+        store = SelectorStore(tmp_path / "store")
+        store.save("m-int8", quantized)
+        restored = store.load("m-int8")
+        windows = distill_world["query"][:40]
+        assert np.array_equal(quantized.predict_proba(windows),
+                              restored.predict_proba(windows))
+        assert restored.quant_provenance["act_scales_hash"] == gate["act_scales_hash"]
+        manifest = store.info("m-int8").metadata["quantization"]
+        assert manifest["agreement"] == gate["agreement"]
+        assert manifest["act_scales_hash"] == gate["act_scales_hash"]
+        assert "act_scales" not in manifest  # the full table lives in the npz
+
+
+# --------------------------------------------------------------------------- #
+# CLI: quantize-teacher + --selector-tier teacher-int8
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def cli_quantized(cli_distilled):
+    from repro.system.cli import main
+
+    store = cli_distilled["store"]
+    data_dir = cli_distilled["data_dir"]
+    perf = cli_distilled["root"] / "perf.npz"
+    assert main(["train", str(data_dir), str(perf), "--selector", "ResNet",
+                 "--store", str(store), "--name", "mq", "--window", "64",
+                 "--stride", "32", "--epochs", "2"]) == 0
+    assert main(["quantize-teacher", str(data_dir), "--store", str(store),
+                 "--name", "mq", "--window", "64", "--stride", "32",
+                 "--min-agreement", "0.0"]) == 0
+    assert main(["distill", str(data_dir), "--store", str(store), "--name", "mq",
+                 "--window", "64", "--stride", "32", "--epochs", "5",
+                 "--min-agreement", "0.0"]) == 0
+    return cli_distilled
+
+
+class TestQuantizeTeacherCLI:
+    def test_saves_int8_tier_with_provenance(self, cli_quantized):
+        from repro.selectors.teacher_int8 import Int8TeacherSelector
+
+        store = SelectorStore(cli_quantized["store"])
+        restored = store.load("mq-int8")
+        assert isinstance(restored, Int8TeacherSelector)
+        assert restored.quant_provenance["base_type"] == "ResNet"
+        assert "act_scales_hash" in store.info("mq-int8").metadata["quantization"]
+
+    def test_batch_select_with_teacher_int8_tier(self, cli_quantized, capsys):
+        from repro.system.cli import main
+
+        assert main(["batch-select", str(cli_quantized["data_dir"]),
+                     "--store", str(cli_quantized["store"]), "--name", "mq",
+                     "--selector-tier", "teacher-int8", "--window", "64"]) == 0
+        assert "series/s" in capsys.readouterr().out
+
+    def test_missing_int8_tier_is_actionable(self, cli_quantized):
+        from repro.system.cli import main
+
+        with pytest.raises(SystemExit, match="quantize-teacher"):
+            main(["batch-select", str(cli_quantized["data_dir"]),
+                  "--store", str(cli_quantized["store"]), "--name", "m",
+                  "--selector-tier", "teacher-int8", "--window", "64"])
+
+    def test_cascade_escalates_to_int8_teacher(self, cli_quantized, capsys):
+        from repro.system.cli import main
+
+        series = sorted(cli_quantized["data_dir"].glob("*.csv"))[0]
+        assert main(["stream", str(series), "--store", str(cli_quantized["store"]),
+                     "--name", "mq", "--selector-tier", "teacher-int8",
+                     "--cascade", "--cascade-threshold", "0.9",
+                     "--window", "64", "--stride", "32"]) == 0
         assert "selected" in capsys.readouterr().out

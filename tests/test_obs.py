@@ -456,6 +456,20 @@ class TestExplain:
             assert "s0" in text and info["selected_model"] in text
             assert "Vote share" in text
 
+    def test_format_explain_surfaces_quantization_provenance(self, obs_world):
+        engine = StreamEngine(obs_world["selector"], obs_world["detector_names"],
+                              StreamingConfig(window=64, stride=32))
+        _drive_engine(engine, obs_world["streams"])
+        info = explain_stream(engine, "s0")
+        assert info["quantization"] is None  # float selector: nothing to show
+        info["quantization"] = {"agreement": 0.9985, "n_calibration": 160,
+                                "act_scales_hash": "f024bb7753935900",
+                                "n_quantized_convs": 8, "n_folded_bns": 6}
+        text = format_explain(info)
+        assert "quantization: agreement 0.9985" in text
+        assert "scales hash f024bb7753935900" in text
+        assert "8 int8 convs, 6 folded norms" in text
+
 
 # --------------------------------------------------------------------------- #
 # registry-backed stats views stay coherent

@@ -21,17 +21,18 @@ from repro.selectors import (
 from repro import nn
 
 NEURAL = ["ConvNet", "ResNet", "InceptionTime", "Transformer", "MLP", "LSTMSelector",
-          "Student", "StudentInt8"]
-# StudentInt8 is inference-only (built by repro.distill.quantize_student);
-# its fit() raises by design, so it is excluded from the generic fit tests.
-TRAINABLE_NEURAL = [n for n in NEURAL if n != "StudentInt8"]
+          "Student", "StudentInt8", "TeacherInt8"]
+# StudentInt8/TeacherInt8 are inference-only (built by the quantize_*
+# functions of repro.distill); their fit() raises by design, so they are
+# excluded from the generic fit tests.
+TRAINABLE_NEURAL = [n for n in NEURAL if n not in ("StudentInt8", "TeacherInt8")]
 NON_NEURAL = ["KNN", "SVC", "AdaBoost", "RandomForest", "LogisticRegression",
               "DecisionTree", "Ridge", "NN1Euclidean", "Rocket"]
 
 
 class TestRegistry:
-    def test_seventeen_selectors_registered(self):
-        assert len(selector_names()) == 17
+    def test_eighteen_selectors_registered(self):
+        assert len(selector_names()) == 18
 
     def test_neural_flag_partition(self):
         assert set(selector_names(neural=True)) == set(NEURAL)
@@ -217,6 +218,18 @@ class TestNonNNSelectors:
     def test_rocket_transform_requires_fit(self):
         with pytest.raises(RuntimeError):
             RocketFeatureTransform().transform(np.zeros((1, 32)))
+
+    def test_rocket_grouped_transform_matches_per_kernel_loop(self):
+        """The grouped-gather transform is bitwise identical to the retained
+        per-kernel reference loop, including clamped-dilation short windows
+        (each kernel still applies as its own matvec over shared patches —
+        a stacked multi-kernel GEMM would change BLAS summation order)."""
+        transform = RocketFeatureTransform(n_kernels=64, seed=7).fit(window_length=96)
+        rng = np.random.default_rng(3)
+        for length in (96, 16):  # 16 forces the dilation clamp
+            windows = rng.normal(size=(8, length))
+            assert np.array_equal(transform.transform(windows),
+                                  transform._transform_per_kernel(windows))
 
     def test_knn_memorises_training_windows(self, small_selector_dataset):
         selector = make_selector("NN1Euclidean")
